@@ -1,0 +1,204 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper. Each benchmark regenerates the artifact's data
+// series (and, once per run, prints headline numbers so `go test
+// -bench=.` doubles as a reproduction log).
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/experiment"
+	"repro/internal/netlist"
+)
+
+// once guards the one-time headline printouts so -benchtime doesn't
+// repeat them.
+var once sync.Once
+
+func printHeadlines() {
+	fmt.Println("=== reproduction headlines ===")
+	m, _ := core.New(0.07, 8)
+	f1, _ := m.RequiredCoverage(0.01)
+	f2, _ := m.RequiredCoverage(0.001)
+	fmt.Printf("§7: y=0.07 n0=8: f(r=1%%)=%.3f (paper ~0.80), f(r=0.1%%)=%.3f (paper ~0.95)\n", f1, f2)
+	fit, _ := estimate.FitN0(estimate.PaperTable1.Curve, estimate.PaperTable1.Yield)
+	slope, _ := estimate.SlopeN0(estimate.PaperTable1.Curve[:1], estimate.PaperTable1.Yield, 0.06)
+	fmt.Printf("Fig. 5: fitted n0=%.2f (paper ~8), slope n0=%.2f (paper 8.8)\n", fit.N0, slope.N0)
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 reject-rate curves.
+func BenchmarkFig1(b *testing.B) {
+	once.Do(printHeadlines)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the required-coverage family at r = 0.01.
+func BenchmarkFig2(b *testing.B) {
+	benchReqCov(b, 0.01)
+}
+
+// BenchmarkFig3 regenerates the required-coverage family at r = 0.005.
+func BenchmarkFig3(b *testing.B) {
+	benchReqCov(b, 0.005)
+}
+
+// BenchmarkFig4 regenerates the required-coverage family at r = 0.001.
+func BenchmarkFig4(b *testing.B) {
+	benchReqCov(b, 0.001)
+}
+
+func benchReqCov(b *testing.B, r float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RequiredCoverageFigure(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Fit regenerates the Fig. 5 n0 determination from the
+// paper's Table 1 data (curve fit + slope).
+func BenchmarkFig5Fit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.FitN0(estimate.PaperTable1.Curve, estimate.PaperTable1.Yield); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := estimate.SlopeN0(estimate.PaperTable1.Curve[:1], estimate.PaperTable1.Yield, 0.06); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the q0(n) approximation comparison.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Fig6()
+		if len(res.Curves) != 15 {
+			b.Fatal("wrong curve count")
+		}
+	}
+}
+
+// BenchmarkTable1 runs the full synthetic lot experiment: circuit,
+// fault collapsing, test generation, strobe-granular fault simulation,
+// lot manufacture, ATE testing, fallout reduction and n0 recovery.
+// This is the headline end-to-end benchmark.
+func BenchmarkTable1(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiment.DefaultTable1Config()
+	cfg.Circuit = c
+	cfg.RandomPatterns = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Physical is BenchmarkTable1 with the lot generated
+// through the physical-defect layer (ablation: defect clustering and
+// fault multiplicity instead of the direct statistical model).
+func BenchmarkTable1Physical(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiment.DefaultTable1Config()
+	cfg.Circuit = c
+	cfg.RandomPatterns = 96
+	cfg.Physical = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWadsackComparison regenerates the §7 model comparison.
+func BenchmarkWadsackComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.WadsackComparison(0.07, 8, []float64{0.01, 0.005, 0.001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShrinkStudy regenerates the §8 fine-line prediction.
+func BenchmarkShrinkStudy(b *testing.B) {
+	scales := []float64{1, 0.9, 0.8, 0.7, 0.6, 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ShrinkStudy(2.659, 0.5, 8, 0.001, scales); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateRejectRate runs the end-to-end Eq. 8 validation on
+// a modest lot.
+func BenchmarkValidateRejectRate(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ValidateRejectRate(c, 0.3, 6, 2000, []float64{0.7}, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollapseStudy runs the fault-collapsing ablation.
+func BenchmarkCollapseStudy(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.CollapseStudy(c, 128, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorBias runs the estimator ablation (curve fit vs
+// slope) over a small batch of synthetic lots.
+func BenchmarkEstimatorBias(b *testing.B) {
+	points := []struct{ Y, N0 float64 }{{0.07, 8.8}, {0.5, 8.8}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.EstimatorBias(points, 277, 10, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldN0Study runs the paper's proposed future-work
+// experiment: the empirical yield↔n0 relationship over a defect-density
+// sweep (smaller lots than the default to keep the benchmark quick).
+func BenchmarkYieldN0Study(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d0as := []float64{0.5, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.YieldN0Study(c, d0as, 3, 500, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

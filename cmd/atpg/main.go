@@ -1,0 +1,105 @@
+// Command atpg generates test patterns for a circuit with PODEM (plus
+// an optional random burst) and reports coverage and pattern count.
+//
+//	atpg -circuit mul4
+//	atpg -circuit dec4 -random 32 -compact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+func main() {
+	circuit := flag.String("circuit", "c17", "built-in circuit: c17, rca<N>, mul<N>, parity<N>, dec<N>, mux<N>, cmp<N>")
+	random := flag.Int("random", 0, "random patterns applied before PODEM cleanup")
+	seed := flag.Int64("seed", 1, "random seed")
+	compact := flag.Bool("compact", false, "reverse-order compact the final set")
+	flag.Parse()
+
+	if err := run(*circuit, *random, *seed, *compact); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuit string, random int, seed int64, compact bool) error {
+	c, err := builtinCircuit(circuit)
+	if err != nil {
+		return err
+	}
+	u := fault.BuildUniverse(c)
+	reps := fault.Reps(u.Collapsed)
+	fmt.Printf("circuit %s: %d gates, %d collapsed faults\n", c.Name, len(c.Gates), len(reps))
+
+	var patterns []logicsim.Pattern
+	if random > 0 {
+		patterns, err = atpg.HybridTests(c, random, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hybrid: %d random + %d deterministic patterns\n", random, len(patterns)-random)
+	} else {
+		res, err := atpg.GenerateAll(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PODEM: %d patterns, coverage %.4f, %d untestable, %d aborted\n",
+			len(res.Patterns), res.Coverage, res.Untestable, res.Aborted)
+		patterns = res.Patterns
+	}
+
+	res, err := faultsim.Run(c, reps, patterns, faultsim.PPSFP)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault-simulated coverage: %.4f with %d patterns\n", res.Coverage(), len(patterns))
+	if compact {
+		compacted, err := atpg.Compact(c, reps, patterns)
+		if err != nil {
+			return err
+		}
+		res2, err := faultsim.Run(c, reps, compacted, faultsim.PPSFP)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after compaction: %.4f with %d patterns\n", res2.Coverage(), len(compacted))
+	}
+	return nil
+}
+
+// builtinCircuit mirrors cmd/faultsim's resolver.
+func builtinCircuit(name string) (*netlist.Circuit, error) {
+	if name == "c17" {
+		return netlist.C17(), nil
+	}
+	var n int
+	switch {
+	case scan(name, "rca%d", &n):
+		return netlist.RippleAdder(n)
+	case scan(name, "mul%d", &n):
+		return netlist.ArrayMultiplier(n)
+	case scan(name, "parity%d", &n):
+		return netlist.ParityTree(n)
+	case scan(name, "dec%d", &n):
+		return netlist.Decoder(n)
+	case scan(name, "mux%d", &n):
+		return netlist.MuxTree(n)
+	case scan(name, "cmp%d", &n):
+		return netlist.Comparator(n)
+	default:
+		return nil, fmt.Errorf("unknown circuit %q", name)
+	}
+}
+
+func scan(s, format string, n *int) bool {
+	matched, err := fmt.Sscanf(s, format, n)
+	return err == nil && matched == 1
+}

@@ -1,0 +1,90 @@
+// Command estimaten0 characterizes the model parameter n0 from lot
+// fallout data (§5 of the paper). Input is CSV lines of
+// "coverage,fraction_failed" on stdin or from -input; with no input it
+// analyzes the paper's own Table 1.
+//
+//	estimaten0 -yield 0.07 < fallout.csv
+//	estimaten0                       # paper's Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/estimate"
+	"repro/quality"
+)
+
+func main() {
+	y := flag.Float64("yield", 0.07, "known chip yield; 0 fits yield jointly")
+	input := flag.String("input", "", "CSV file of coverage,fraction_failed (default: stdin if piped, else paper Table 1)")
+	maxF := flag.Float64("slope-maxf", 0.1, "max coverage used by the slope estimator")
+	flag.Parse()
+
+	curve, label, err := loadCurve(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "estimaten0:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("data: %s (%d points)\n", label, len(curve))
+
+	if *y > 0 {
+		fit, err := quality.FitN0(curve, *y)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "estimaten0:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("curve-fit n0: %.3f (SSE %.5f)\n", fit.N0, fit.SSE)
+		slope, err := quality.SlopeN0(curve, *y, *maxF)
+		if err == nil {
+			fmt.Printf("slope n0:     %.3f (points with f <= %.3g)\n", slope.N0, *maxF)
+		}
+		m, err := quality.NewModel(*y, fit.N0)
+		if err == nil {
+			for _, r := range []float64{0.01, 0.005, 0.001} {
+				f, err := m.RequiredCoverage(r)
+				if err == nil {
+					fmt.Printf("required coverage for r = %-6g: %.4f\n", r, f)
+				}
+			}
+		}
+		return
+	}
+	n0, yield, err := quality.FitN0AndYield(curve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "estimaten0:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("joint fit: n0 = %.3f, yield = %.3f\n", n0, yield)
+}
+
+// loadCurve reads the fallout curve from a file, stdin, or the
+// embedded paper data.
+func loadCurve(path string) (quality.Curve, string, error) {
+	var r io.Reader
+	label := ""
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		r = f
+		label = path
+	default:
+		if stat, err := os.Stdin.Stat(); err == nil && stat.Mode()&os.ModeCharDevice == 0 {
+			r = os.Stdin
+			label = "stdin"
+		} else {
+			return quality.PaperTable1Curve(), "paper Table 1", nil
+		}
+	}
+	curve, err := estimate.ParseCSV(r)
+	if err != nil {
+		return nil, "", err
+	}
+	return curve, label, nil
+}

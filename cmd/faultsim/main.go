@@ -1,0 +1,140 @@
+// Command faultsim grades a test-pattern set against a circuit: it
+// builds the collapsed single-stuck-at fault list, runs parallel-
+// pattern fault simulation, and prints the coverage ramp — the
+// fault-simulator product §5 of the paper starts from.
+//
+//	faultsim -bench c17.bench -patterns 64 -seed 7
+//	faultsim -circuit mul8 -patterns 256 -engine deductive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	benchPath := flag.String("bench", "", "circuit in .bench format (overrides -circuit)")
+	circuit := flag.String("circuit", "c17", "built-in circuit: c17, rca<N>, mul<N>, parity<N>, dec<N>, mux<N>, cmp<N>")
+	npat := flag.Int("patterns", 64, "number of random patterns")
+	seed := flag.Int64("seed", 1, "pattern seed")
+	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive")
+	lfsr := flag.Bool("lfsr", false, "use an LFSR instead of uniform random patterns")
+	flag.Parse()
+
+	if err := run(*benchPath, *circuit, *npat, *seed, *engine, *lfsr); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, circuit string, npat int, seed int64, engineName string, lfsr bool) error {
+	c, err := loadCircuit(benchPath, circuit)
+	if err != nil {
+		return err
+	}
+	stats, err := c.ComputeStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit %s: %s\n", c.Name, stats)
+
+	var eng faultsim.Engine
+	switch engineName {
+	case "serial":
+		eng = faultsim.Serial
+	case "ppsfp":
+		eng = faultsim.PPSFP
+	case "deductive":
+		eng = faultsim.Deductive
+	default:
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+
+	var src atpg.Source
+	if lfsr {
+		src, err = atpg.NewLFSRSource(len(c.Inputs), uint32(seed)|1)
+	} else {
+		src, err = atpg.NewRandomSource(len(c.Inputs), seed)
+	}
+	if err != nil {
+		return err
+	}
+	patterns := atpg.Take(src, npat)
+
+	u := fault.BuildUniverse(c)
+	reps := fault.Reps(u.Collapsed)
+	fmt.Printf("faults: %d total, %d collapsed, %d after dominance\n",
+		len(u.All), len(u.Collapsed), len(u.Checkable))
+
+	res, err := faultsim.Run(c, reps, patterns, eng)
+	if err != nil {
+		return err
+	}
+	curve := faultsim.CurveFromResult(res)
+	tb := tablefmt.New("pattern", "detected", "coverage")
+	step := len(curve) / 16
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(curve); i += step {
+		tb.AddRow(curve[i].Pattern+1, curve[i].Detected, fmt.Sprintf("%.4f", curve[i].Coverage))
+	}
+	last := curve[len(curve)-1]
+	tb.AddRow(last.Pattern+1, last.Detected, fmt.Sprintf("%.4f", last.Coverage))
+	fmt.Print(tb.String())
+	fmt.Printf("final coverage (%s engine): %.4f, undetected %d\n",
+		eng, res.Coverage(), len(faultsim.Undetected(res)))
+	return nil
+}
+
+// loadCircuit resolves the circuit flag.
+func loadCircuit(benchPath, name string) (*netlist.Circuit, error) {
+	if benchPath != "" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(benchPath, f)
+	}
+	return builtinCircuit(name)
+}
+
+// builtinCircuit parses names like mul8, rca16, parity32, dec4, mux3,
+// cmp8, c17, rand<seed>.
+func builtinCircuit(name string) (*netlist.Circuit, error) {
+	if name == "c17" {
+		return netlist.C17(), nil
+	}
+	var n int
+	switch {
+	case scan(name, "rca%d", &n):
+		return netlist.RippleAdder(n)
+	case scan(name, "mul%d", &n):
+		return netlist.ArrayMultiplier(n)
+	case scan(name, "parity%d", &n):
+		return netlist.ParityTree(n)
+	case scan(name, "dec%d", &n):
+		return netlist.Decoder(n)
+	case scan(name, "mux%d", &n):
+		return netlist.MuxTree(n)
+	case scan(name, "cmp%d", &n):
+		return netlist.Comparator(n)
+	case scan(name, "rand%d", &n):
+		return netlist.RandomCircuit(name, 16, 400, 12, int64(n))
+	default:
+		return nil, fmt.Errorf("unknown circuit %q", name)
+	}
+}
+
+func scan(s, format string, n *int) bool {
+	matched, err := fmt.Sscanf(s, format, n)
+	return err == nil && matched == 1
+}

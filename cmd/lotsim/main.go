@@ -1,0 +1,50 @@
+// Command lotsim runs the paper's full production-lot experiment
+// (§5/§7) end to end on a synthetic line: generate circuit and ordered
+// tests, manufacture a lot at a target (yield, n0), first-fail test
+// each chip, print the Table 1 fallout table and Fig. 5 overlay, and
+// recover n0 by curve fit and slope.
+//
+//	lotsim -chips 277 -yield 0.07 -n0 8.8
+//	lotsim -physical            # route through the physical-defect layer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/netlist"
+)
+
+func main() {
+	chips := flag.Int("chips", 277, "lot size")
+	yield := flag.Float64("yield", 0.07, "ground-truth yield")
+	n0 := flag.Float64("n0", 8.8, "ground-truth mean faults per defective chip")
+	seed := flag.Int64("seed", 1981, "random seed")
+	random := flag.Int("random", 192, "random patterns before PODEM cleanup")
+	width := flag.Int("width", 8, "array-multiplier width of the DUT")
+	physical := flag.Bool("physical", false, "generate the lot through the physical-defect layer")
+	flag.Parse()
+
+	c, err := netlist.ArrayMultiplier(*width)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotsim:", err)
+		os.Exit(1)
+	}
+	cfg := experiment.Table1Config{
+		Circuit:        c,
+		Chips:          *chips,
+		Yield:          *yield,
+		N0:             *n0,
+		RandomPatterns: *random,
+		Seed:           *seed,
+		Physical:       *physical,
+	}
+	res, err := experiment.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,50 @@
+// Command rejectrate computes the field reject rate r(f) (Eq. 8) for a
+// given yield and n0, at one coverage or as a swept table.
+//
+//	rejectrate -yield 0.07 -n0 8.8 -coverage 0.95
+//	rejectrate -yield 0.07 -n0 8.8 -sweep 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tablefmt"
+	"repro/quality"
+)
+
+func main() {
+	y := flag.Float64("yield", 0.07, "chip yield in (0,1)")
+	n0 := flag.Float64("n0", 8.8, "mean faults on a defective chip (>= 1)")
+	f := flag.Float64("coverage", -1, "fault coverage in [0,1]; -1 sweeps instead")
+	steps := flag.Int("sweep", 11, "number of sweep points when no coverage is given")
+	flag.Parse()
+
+	m, err := quality.NewModel(*y, *n0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rejectrate:", err)
+		os.Exit(1)
+	}
+	if *f >= 0 {
+		if *f > 1 {
+			fmt.Fprintln(os.Stderr, "rejectrate: coverage must be in [0,1]")
+			os.Exit(1)
+		}
+		r := m.RejectRate(*f)
+		fmt.Printf("yield=%.4g n0=%.4g coverage=%.4g => reject rate %.6g (%.1f DPM)\n",
+			*y, *n0, *f, r, quality.DefectLevelDPM(r))
+		return
+	}
+	if *steps < 2 {
+		fmt.Fprintln(os.Stderr, "rejectrate: sweep needs >= 2 points")
+		os.Exit(1)
+	}
+	tb := tablefmt.New("coverage", "reject rate", "DPM")
+	for i := 0; i < *steps; i++ {
+		fc := float64(i) / float64(*steps-1)
+		r := m.RejectRate(fc)
+		tb.AddRow(fc, r, quality.DefectLevelDPM(r))
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,146 @@
+// Command repro regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	repro -artifact all          # everything
+//	repro -artifact fig1         # Fig. 1 reject-rate curves
+//	repro -artifact fig2|fig3|fig4
+//	repro -artifact fig6         # q0 approximations
+//	repro -artifact table1       # synthetic lot experiment + Fig. 5
+//	repro -artifact wadsack      # §7 comparison
+//	repro -artifact shrink       # §8 fine-line study
+//	repro -artifact yieldn0      # future-work yield↔n0 relation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/netlist"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "which artifact to regenerate (all, fig1, fig2, fig3, fig4, fig5, fig6, table1, wadsack, shrink, yieldn0)")
+	chips := flag.Int("chips", 277, "lot size for the table1 experiment")
+	seed := flag.Int64("seed", 1981, "random seed for the table1 experiment")
+	physical := flag.Bool("physical", false, "drive the table1 lot through the physical-defect layer")
+	flag.Parse()
+
+	if err := run(*artifact, *chips, *seed, *physical); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(artifact string, chips int, seed int64, physical bool) error {
+	want := func(name string) bool { return artifact == "all" || artifact == name }
+	ran := false
+	if want("fig1") {
+		res, err := experiment.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	for _, fig := range []struct {
+		name string
+		r    float64
+	}{{"fig2", 0.01}, {"fig3", 0.005}, {"fig4", 0.001}} {
+		if want(fig.name) {
+			res, err := experiment.RequiredCoverageFigure(fig.r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			ran = true
+		}
+	}
+	if want("table1") || want("fig5") {
+		cfg := experiment.DefaultTable1Config()
+		cfg.Chips = chips
+		cfg.Seed = seed
+		cfg.Physical = physical
+		res, err := experiment.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("fig6") {
+		fmt.Println(experiment.Fig6().Render())
+		ran = true
+	}
+	if want("wadsack") {
+		res, err := experiment.WadsackComparison(0.07, 8, []float64{0.01, 0.005, 0.001})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("shrink") {
+		res, err := experiment.ShrinkStudy(2.659, 0.5, 8, 0.001, []float64{1, 0.9, 0.8, 0.7, 0.6, 0.5})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("validate") {
+		c, err := netlist.ArrayMultiplier(4)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.ValidateRejectRate(c, 0.3, 6, 30000,
+			[]float64{0.5, 0.6, 0.7, 0.8, 0.9}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("collapse") {
+		c, err := netlist.ArrayMultiplier(6)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.CollapseStudy(c, 256, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("estbias") {
+		points := []struct{ Y, N0 float64 }{
+			{0.07, 8.8}, {0.2, 8.8}, {0.5, 8.8}, {0.8, 8.8},
+		}
+		res, err := experiment.EstimatorBias(points, chips, 60, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if want("yieldn0") {
+		c, err := netlist.ArrayMultiplier(4)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.YieldN0Study(c,
+			[]float64{0.3, 0.6, 1.0, 1.5, 2.2, 3.0}, 3.0, 4000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return nil
+}

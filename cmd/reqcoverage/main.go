@@ -1,0 +1,36 @@
+// Command reqcoverage solves the paper's central question: what fault
+// coverage must tests reach for a target field reject rate (Figs. 2-4
+// as a calculator), and how does that compare to the Wadsack baseline.
+//
+//	reqcoverage -yield 0.07 -n0 8 -reject 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/quality"
+)
+
+func main() {
+	y := flag.Float64("yield", 0.07, "chip yield in (0,1)")
+	n0 := flag.Float64("n0", 8, "mean faults on a defective chip (>= 1)")
+	r := flag.Float64("reject", 0.001, "target field reject rate in (0,1)")
+	flag.Parse()
+
+	m, err := quality.NewModel(*y, *n0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reqcoverage:", err)
+		os.Exit(1)
+	}
+	paper, wadsack, savings, err := quality.CoverageSavings(m, *r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reqcoverage:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("target reject rate: %.4g (%.1f DPM)\n", *r, quality.DefectLevelDPM(*r))
+	fmt.Printf("required coverage (this model):    %.4f\n", paper)
+	fmt.Printf("required coverage (Wadsack [5]):   %.4f\n", wadsack)
+	fmt.Printf("coverage saved by fault clustering: %.4f\n", savings)
+}

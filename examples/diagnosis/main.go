@@ -1,0 +1,58 @@
+// diagnosis shows the fault-dictionary workflow that complements the
+// paper's coverage analysis: the same fault simulator that grades a
+// test set can pre-compute every fault's tester response, so a failing
+// chip's datalog locates the defect — useful for the failure analysis
+// that calibrates defect models in the first place.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+func main() {
+	c, err := netlist.ALUSlice(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	patterns, err := atpg.HybridTests(c, 64, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict, err := diagnose.Build(c, faults, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes, largest := dict.Resolution()
+	fmt.Printf("DUT %s: %d faults, %d patterns\n", c.Name, len(faults), len(patterns))
+	fmt.Printf("dictionary resolution: %d distinguishable classes (largest class %d)\n\n",
+		classes, largest)
+
+	// A chip comes back from the tester with fails. (Here we know the
+	// truth: fault #17 was injected.)
+	truth := faults[17]
+	syn, err := dict.ObserveChip([]logicsim.Injection{
+		{Gate: truth.Gate, Pin: truth.Pin, Stuck: truth.Stuck},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip first fails at pattern %d\n", syn.FirstFail())
+	fmt.Printf("injected (hidden) fault: %s\n\n", truth.Name(c))
+
+	fmt.Println("top diagnosis candidates:")
+	for i, cand := range dict.Diagnose(syn, 5) {
+		marker := ""
+		if cand.Fault == truth {
+			marker = "   <-- the actual defect"
+		}
+		fmt.Printf("  %d. %-28s distance %d%s\n", i+1, cand.Fault.Name(c), cand.Distance, marker)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: the paper's core question answered in a few lines — how
+// much fault coverage do my tests need for a target shipped quality?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/quality"
+)
+
+func main() {
+	// An LSI chip: 7% yield, and a production-lot experiment said a
+	// defective chip carries 8.8 faults on average (paper §7).
+	m, err := quality.NewModel(0.07, 8.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What do we ship at 80% / 95% / 99% stuck-at coverage?
+	for _, f := range []float64{0.80, 0.95, 0.99} {
+		r := m.RejectRate(f)
+		fmt.Printf("coverage %.0f%% -> field reject rate %.4f%% (%.0f DPM)\n",
+			f*100, r*100, quality.DefectLevelDPM(r))
+	}
+
+	// And the inverse: coverage required for 1-in-1000 shipped rejects.
+	f, err := m.RequiredCoverage(0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("for 0.1%% reject rate: need %.1f%% coverage\n", f*100)
+
+	// The pre-1981 answer (Wadsack's single-fault model) would have
+	// demanded much more:
+	paper, wadsack, savings, err := quality.CoverageSavings(m, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("this model %.1f%% vs Wadsack %.2f%% — %.1f points saved\n",
+		paper*100, wadsack*100, savings*100)
+}

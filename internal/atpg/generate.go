@@ -1,0 +1,178 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// RunResult summarizes a full ATPG run.
+type RunResult struct {
+	Patterns   []logicsim.Pattern
+	Coverage   float64 // coverage of the collapsed fault list
+	Detected   int
+	Untestable int
+	Aborted    int
+	Faults     int
+}
+
+// GenerateAll runs deterministic ATPG over the circuit's equivalence-
+// collapsed fault list with fault dropping: each PODEM test is fault-
+// simulated against the remaining faults so one pattern usually retires
+// many faults. Random-fill is not used; the run is fully reproducible.
+func GenerateAll(c *netlist.Circuit) (RunResult, error) {
+	if err := c.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("atpg: invalid circuit: %w", err)
+	}
+	u := fault.BuildUniverse(c)
+	reps := fault.Reps(u.Collapsed)
+	gen, err := NewPodem(c)
+	if err != nil {
+		return RunResult{}, err
+	}
+	detected := make([]bool, len(reps))
+	res := RunResult{Faults: len(reps)}
+	for fi, f := range reps {
+		if detected[fi] {
+			continue
+		}
+		pattern, status := gen.Generate(f)
+		switch status {
+		case Untestable:
+			res.Untestable++
+			continue
+		case Aborted:
+			res.Aborted++
+			continue
+		}
+		res.Patterns = append(res.Patterns, pattern)
+		// Drop everything this pattern detects.
+		var remaining []fault.Fault
+		var remainingIdx []int
+		for ri, rf := range reps {
+			if !detected[ri] {
+				remaining = append(remaining, rf)
+				remainingIdx = append(remainingIdx, ri)
+			}
+		}
+		sim, err := faultsim.Run(c, remaining, []logicsim.Pattern{pattern}, faultsim.PPSFP)
+		if err != nil {
+			return RunResult{}, err
+		}
+		for ri, d := range sim.FirstDetect {
+			if d != faultsim.NotDetected {
+				detected[remainingIdx[ri]] = true
+				res.Detected++
+			}
+		}
+		if !detected[fi] {
+			// The generated pattern must detect its target; a miss means
+			// the generator and simulator disagree.
+			return RunResult{}, fmt.Errorf("atpg: internal inconsistency: PODEM test for %v not confirmed by fault simulation", f.Name(c))
+		}
+	}
+	res.Coverage = float64(res.Detected) / float64(res.Faults)
+	return res, nil
+}
+
+// Compact performs reverse-order compaction: patterns are fault-
+// simulated in reverse order with dropping, and any pattern that
+// detects no fresh fault is discarded. The compacted set preserves
+// total coverage.
+func Compact(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) ([]logicsim.Pattern, error) {
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+	reversed := make([]logicsim.Pattern, len(patterns))
+	for i, p := range patterns {
+		reversed[len(patterns)-1-i] = p
+	}
+	res, err := faultsim.Run(c, faults, reversed, faultsim.PPSFP)
+	if err != nil {
+		return nil, err
+	}
+	useful := make(map[int]bool)
+	for _, d := range res.FirstDetect {
+		if d != faultsim.NotDetected {
+			useful[d] = true
+		}
+	}
+	var out []logicsim.Pattern
+	for i := range reversed {
+		if useful[i] {
+			out = append(out, reversed[i])
+		}
+	}
+	return out, nil
+}
+
+// HybridTests produces the realistic production test order the paper
+// describes: a burst of pseudo-random patterns first (cheap, catches
+// the easy faults fast, giving the steep initial fallout ramp), then
+// deterministic PODEM tests for the random-resistant remainder.
+func HybridTests(c *netlist.Circuit, randomCount int, seed int64) ([]logicsim.Pattern, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("atpg: invalid circuit: %w", err)
+	}
+	src, err := NewRandomSource(len(c.Inputs), seed)
+	if err != nil {
+		return nil, err
+	}
+	return CleanupTests(c, Take(src, randomCount))
+}
+
+// CleanupTests appends deterministic PODEM tests for every collapsed
+// fault the base pattern sequence misses, preserving the base order.
+func CleanupTests(c *netlist.Circuit, base []logicsim.Pattern) ([]logicsim.Pattern, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("atpg: invalid circuit: %w", err)
+	}
+	patterns := base
+	u := fault.BuildUniverse(c)
+	reps := fault.Reps(u.Collapsed)
+	detected := make([]bool, len(reps))
+	if len(patterns) > 0 {
+		res, err := faultsim.Run(c, reps, patterns, faultsim.PPSFP)
+		if err != nil {
+			return nil, err
+		}
+		for fi, d := range res.FirstDetect {
+			detected[fi] = d != faultsim.NotDetected
+		}
+	}
+	gen, err := NewPodem(c)
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range reps {
+		if detected[fi] {
+			continue
+		}
+		pattern, status := gen.Generate(f)
+		if status != Detected {
+			continue
+		}
+		patterns = append(patterns, pattern)
+		var remaining []fault.Fault
+		var idx []int
+		for ri := range reps {
+			if !detected[ri] {
+				remaining = append(remaining, reps[ri])
+				idx = append(idx, ri)
+			}
+		}
+		one, err := faultsim.Run(c, remaining, []logicsim.Pattern{pattern}, faultsim.PPSFP)
+		if err != nil {
+			return nil, err
+		}
+		for ri, d := range one.FirstDetect {
+			if d != faultsim.NotDetected {
+				detected[idx[ri]] = true
+			}
+		}
+	}
+	return patterns, nil
+}

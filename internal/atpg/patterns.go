@@ -1,0 +1,109 @@
+// Package atpg generates test patterns: pseudo-random sources (uniform
+// and LFSR) and a deterministic PODEM test generator with fault
+// dropping, plus reverse-order compaction. Together they produce the
+// ordered pattern sets whose cumulative coverage ramp drives the
+// paper's lot experiment.
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// Source produces an endless stream of test patterns.
+type Source interface {
+	// Next returns the next pattern (width = circuit inputs).
+	Next() logicsim.Pattern
+}
+
+// RandomSource draws uniform random patterns.
+type RandomSource struct {
+	width int
+	rng   *rand.Rand
+}
+
+// NewRandomSource returns a reproducible uniform pattern source.
+func NewRandomSource(width int, seed int64) (*RandomSource, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("atpg: width must be >= 1, got %d", width)
+	}
+	return &RandomSource{width: width, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns a fresh uniform random pattern.
+func (s *RandomSource) Next() logicsim.Pattern {
+	p := make(logicsim.Pattern, s.width)
+	for i := range p {
+		p[i] = s.rng.Intn(2) == 1
+	}
+	return p
+}
+
+// LFSRSource generates patterns from a maximal-length Fibonacci LFSR,
+// modelling built-in self-test pattern generators. The register is
+// 32 bits wide with taps 32,22,2,1 (maximal length); each pattern takes
+// `width` fresh bits.
+type LFSRSource struct {
+	width int
+	state uint32
+}
+
+// NewLFSRSource returns an LFSR source; seed must be non-zero (an LFSR
+// stuck at zero never leaves it).
+func NewLFSRSource(width int, seed uint32) (*LFSRSource, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("atpg: width must be >= 1, got %d", width)
+	}
+	if seed == 0 {
+		return nil, fmt.Errorf("atpg: LFSR seed must be non-zero")
+	}
+	return &LFSRSource{width: width, state: seed}, nil
+}
+
+// step advances the LFSR one bit and returns it.
+func (s *LFSRSource) step() bool {
+	// Taps at positions 32, 22, 2, 1 (x^32 + x^22 + x^2 + x + 1).
+	bit := (s.state ^ (s.state >> 10) ^ (s.state >> 30) ^ (s.state >> 31)) & 1
+	s.state = s.state>>1 | bit<<31
+	return bit == 1
+}
+
+// Next returns the next LFSR pattern.
+func (s *LFSRSource) Next() logicsim.Pattern {
+	p := make(logicsim.Pattern, s.width)
+	for i := range p {
+		p[i] = s.step()
+	}
+	return p
+}
+
+// Take collects n patterns from a source.
+func Take(s Source, n int) []logicsim.Pattern {
+	out := make([]logicsim.Pattern, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Exhaustive returns all 2^width patterns for a small circuit. It
+// refuses widths above 24 to avoid surprise memory blowups.
+func Exhaustive(c *netlist.Circuit) ([]logicsim.Pattern, error) {
+	w := len(c.Inputs)
+	if w > 24 {
+		return nil, fmt.Errorf("atpg: exhaustive patterns infeasible for %d inputs", w)
+	}
+	n := 1 << uint(w)
+	out := make([]logicsim.Pattern, n)
+	for v := 0; v < n; v++ {
+		p := make(logicsim.Pattern, w)
+		for i := 0; i < w; i++ {
+			p[i] = v>>uint(i)&1 == 1
+		}
+		out[v] = p
+	}
+	return out, nil
+}

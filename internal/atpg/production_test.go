@@ -1,0 +1,119 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func TestProductionPatternsStructure(t *testing.T) {
+	ps, err := ProductionPatterns(8, 40, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counting phase: pattern i encodes i in binary over the inputs.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 8; j++ {
+			want := i>>uint(j)&1 == 1
+			if ps[i][j] != want {
+				t.Fatalf("counting pattern %d bit %d = %v, want %v", i, j, ps[i][j], want)
+			}
+		}
+	}
+	// All patterns full width.
+	for i, p := range ps {
+		if len(p) != 8 {
+			t.Fatalf("pattern %d width %d", i, len(p))
+		}
+	}
+	// Walking-one block follows the counting block.
+	countSteps := 16
+	for i := 0; i < 8; i++ {
+		p := ps[countSteps+i]
+		ones := 0
+		for _, b := range p {
+			if b {
+				ones++
+			}
+		}
+		if ones != 1 || !p[i] {
+			t.Fatalf("walking-one pattern %d malformed: %v", i, p)
+		}
+	}
+}
+
+func TestProductionPatternsErrors(t *testing.T) {
+	if _, err := ProductionPatterns(0, 10, 10, 1); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := ProductionPatterns(4, -1, 10, 1); err == nil {
+		t.Error("negative counts should error")
+	}
+}
+
+func TestProductionTestsReachFullCoverage(t *testing.T) {
+	c, err := netlist.RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := ProductionTests(c, 32, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	res, err := faultsim.Run(c, reps, patterns, faultsim.PPSFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("production tests reach %v coverage", res.Coverage())
+	}
+}
+
+func TestProductionRampGentlerThanUniform(t *testing.T) {
+	// The point of production order: the first strobe-granular
+	// checkpoint covers less than a uniform-random opening pattern.
+	c, err := netlist.ArrayMultiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	prod, err := ProductionPatterns(len(c.Inputs), 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := NewRandomSource(len(c.Inputs), 3)
+	uni := Take(src, len(prod))
+	prodRes, err := faultsim.RunSteps(c, reps, prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := faultsim.RunSteps(c, reps, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := faultsim.CurveFromResult(prodRes)
+	uc := faultsim.CurveFromResult(uniRes)
+	if pc[0].Coverage >= uc[0].Coverage {
+		t.Errorf("first production strobe %v should cover less than uniform %v",
+			pc[0].Coverage, uc[0].Coverage)
+	}
+}
+
+func TestCleanupTestsEmptyBase(t *testing.T) {
+	c := netlist.C17()
+	patterns, err := CleanupTests(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	res, err := faultsim.Run(c, reps, patterns, faultsim.PPSFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("cleanup-only coverage %v", res.Coverage())
+	}
+}

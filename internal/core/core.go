@@ -1,0 +1,154 @@
+// Package core implements the statistical model of Agrawal, Seth &
+// Agrawal, "LSI Product Quality and Fault Coverage" (DAC 1981): the
+// relationship between the single-stuck-at fault coverage f of a test
+// set and the field reject rate r(f) of the tested product.
+//
+// The model has two parameters:
+//
+//   - Y:  the chip yield, the probability that a manufactured chip is
+//     fault-free (Eq. 3 of the paper, or measured);
+//   - N0: the average number of logical faults on a *defective* chip.
+//     The number of faults on a defective chip is shifted-Poisson
+//     distributed with mean N0 (Eq. 1).
+//
+// With a test set covering a fraction f of the N possible faults, the
+// probability that a chip carrying n faults escapes is
+// q0(n) ≈ (1-f)^n (Eq. 5, hypergeometric urn model of Eq. 4), which
+// gives the closed forms
+//
+//	Ybg(f) = (1-f)(1-Y) e^{-(N0-1) f}                    (Eq. 7)
+//	r(f)   = Ybg(f) / (Y + Ybg(f))                       (Eq. 8)
+//	P(f)   = (1-Y) [1 - (1-f) e^{-(N0-1) f}]             (Eq. 9)
+//	P'(0)  = (1-Y) N0 = nav                              (Eq. 10, Eq. 2)
+//
+// All equation numbers in the doc comments refer to the paper.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+)
+
+// Model is the paper's two-parameter quality model.
+type Model struct {
+	Y  float64 // yield: probability a manufactured chip is fault-free
+	N0 float64 // mean number of faults on a defective chip (>= 1)
+}
+
+// New validates and constructs a Model. Yield must lie in (0, 1) —
+// zero yield ships nothing and unit yield needs no testing — and N0
+// must be at least 1 because a defective chip has at least one fault.
+func New(y, n0 float64) (Model, error) {
+	if !(y > 0 && y < 1) {
+		return Model{}, fmt.Errorf("core: yield must be in (0,1), got %v", y)
+	}
+	if !(n0 >= 1) || math.IsInf(n0, 1) {
+		return Model{}, fmt.Errorf("core: n0 must be >= 1 and finite, got %v", n0)
+	}
+	return Model{Y: y, N0: n0}, nil
+}
+
+// FaultCount returns the distribution of the number of faults on a
+// manufactured chip (Eq. 1, both clauses: p(0)=Y and the shifted
+// Poisson for n >= 1).
+func (m Model) FaultCount() dist.ChipFaultCount {
+	return dist.ChipFaultCount{Y: m.Y, Defective: dist.ShiftedPoisson{N0: m.N0}}
+}
+
+// Nav returns the average number of faults per manufactured chip,
+// nav = (1-Y) N0 (Eq. 2).
+func (m Model) Nav() float64 { return (1 - m.Y) * m.N0 }
+
+// checkCoverage validates f in [0, 1].
+func checkCoverage(f float64) error {
+	if !(f >= 0 && f <= 1) {
+		return fmt.Errorf("core: fault coverage must be in [0,1], got %v", f)
+	}
+	return nil
+}
+
+// Ybg returns the probability that a manufactured chip is bad yet
+// passes tests with fault coverage f (Eq. 7):
+//
+//	Ybg(f) = (1-f)(1-Y) e^{-(N0-1) f}.
+func (m Model) Ybg(f float64) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	return (1 - f) * (1 - m.Y) * math.Exp(-(m.N0-1)*f)
+}
+
+// RejectRate returns the field reject rate r(f) (Eq. 8): the fraction
+// of chips passing the tests that are actually defective.
+func (m Model) RejectRate(f float64) float64 {
+	ybg := m.Ybg(f)
+	return ybg / (m.Y + ybg)
+}
+
+// Fallout returns P(f) (Eq. 9): the fraction of all manufactured chips
+// rejected by tests with cumulative fault coverage f.
+func (m Model) Fallout(f float64) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	return (1 - m.Y) * (1 - (1-f)*math.Exp(-(m.N0-1)*f))
+}
+
+// FalloutSlope returns P'(f), the derivative of the fallout curve
+// (the expression above Eq. 10):
+//
+//	P'(f) = (1-Y) [1 + (1-f)(N0-1)] e^{-(N0-1) f}.
+func (m Model) FalloutSlope(f float64) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	return (1 - m.Y) * (1 + (1-f)*(m.N0-1)) * math.Exp(-(m.N0-1)*f)
+}
+
+// FalloutSlope0 returns P'(0) = (1-Y) N0 (Eq. 10), which equals the
+// average fault count nav of Eq. 2. Measuring this slope on a
+// production lot estimates N0.
+func (m Model) FalloutSlope0() float64 { return m.Nav() }
+
+// RequiredCoverage inverts Eq. 8: it returns the minimum fault coverage
+// f such that the field reject rate does not exceed r. If even 100%
+// coverage cannot reach r (impossible, since r(1) = 0 for Y > 0) or the
+// target is met at zero coverage, the corresponding endpoint is
+// returned.
+func (m Model) RequiredCoverage(r float64) (float64, error) {
+	if !(r > 0 && r < 1) {
+		return 0, fmt.Errorf("core: target reject rate must be in (0,1), got %v", r)
+	}
+	if m.RejectRate(0) <= r {
+		return 0, nil
+	}
+	// r(f) is strictly decreasing on [0,1] with r(1) = 0 < r, so a
+	// bracketed root always exists.
+	f, err := numeric.Brent(func(f float64) float64 { return m.RejectRate(f) - r }, 0, 1, 1e-12)
+	if err != nil {
+		return 0, fmt.Errorf("core: inverting reject rate: %w", err)
+	}
+	return numeric.Clamp(f, 0, 1), nil
+}
+
+// YieldForReject implements Eq. 11: the yield y at which tests with
+// fault coverage f deliver exactly the field reject rate r, holding N0
+// fixed. Figs. 2-4 of the paper plot f against this y for families of
+// N0.
+func (m Model) YieldForReject(r, f float64) (float64, error) {
+	if !(r > 0 && r < 1) {
+		return 0, fmt.Errorf("core: reject rate must be in (0,1), got %v", r)
+	}
+	if err := checkCoverage(f); err != nil {
+		return 0, err
+	}
+	t := (1 - r) * (1 - f) * math.Exp(-(m.N0-1)*f)
+	return t / (r + t), nil
+}
+
+// DefectLevelDPM converts a reject rate to defects per million shipped,
+// the unit modern practice quotes defect level in.
+func DefectLevelDPM(r float64) float64 { return r * 1e6 }

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func mustModel(t *testing.T, y, n0 float64) Model {
+	t.Helper()
+	m, err := New(y, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		y, n0 float64
+		ok    bool
+	}{
+		{0.5, 8, true},
+		{0.07, 1, true},
+		{0, 8, false},
+		{1, 8, false},
+		{-0.1, 8, false},
+		{0.5, 0.5, false},
+		{0.5, math.Inf(1), false},
+	}
+	for _, c := range cases {
+		_, err := New(c.y, c.n0)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%v,%v): err=%v, want ok=%v", c.y, c.n0, err, c.ok)
+		}
+	}
+}
+
+func TestNavEq2(t *testing.T) {
+	m := mustModel(t, 0.2, 10)
+	if !almostEq(m.Nav(), 8, 1e-12) {
+		t.Errorf("Nav = %v, want (1-0.2)*10 = 8", m.Nav())
+	}
+	if m.FalloutSlope0() != m.Nav() {
+		t.Error("Eq. 10: P'(0) must equal nav")
+	}
+}
+
+func TestYbgClosedForm(t *testing.T) {
+	// Eq. 7 spelled out for a hand case.
+	m := mustModel(t, 0.8, 2)
+	f := 0.5
+	want := 0.5 * 0.2 * math.Exp(-0.5)
+	if got := m.Ybg(f); !almostEq(got, want, 1e-12) {
+		t.Errorf("Ybg(0.5) = %v, want %v", got, want)
+	}
+	// Endpoints: all bad chips pass at f=0; none at f=1.
+	if !almostEq(m.Ybg(0), 0.2, 1e-12) {
+		t.Error("Ybg(0) should equal 1-y")
+	}
+	if m.Ybg(1) != 0 {
+		t.Error("Ybg(1) should be 0")
+	}
+}
+
+func TestRejectRateEndpoints(t *testing.T) {
+	m := mustModel(t, 0.07, 8)
+	// r(0) = (1-y)/(y + 1-y) = 1-y: shipping untested chips rejects at
+	// the defect rate.
+	if !almostEq(m.RejectRate(0), 0.93, 1e-12) {
+		t.Errorf("r(0) = %v, want 0.93", m.RejectRate(0))
+	}
+	if m.RejectRate(1) != 0 {
+		t.Errorf("r(1) = %v, want 0", m.RejectRate(1))
+	}
+}
+
+func TestRejectRateMonotoneDecreasing(t *testing.T) {
+	prop := func(ry, rn uint8) bool {
+		y := 0.02 + float64(ry)/256*0.96
+		n0 := 1 + float64(rn)/16
+		m := Model{Y: y, N0: n0}
+		prev := m.RejectRate(0)
+		for f := 0.01; f <= 1.0001; f += 0.01 {
+			r := m.RejectRate(math.Min(f, 1))
+			if r > prev+1e-15 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig1SpotChecks(t *testing.T) {
+	// §4 of the paper, reading Fig. 1: for a field reject rate below
+	// 0.5 percent the required coverage is
+	//   y=0.80: f ≈ 0.95 (n0=2) or 0.38 (n0=10)
+	//   y=0.20: f ≈ 0.99 (n0=2) or 0.63 (n0=10)
+	// The figures were read off a log-scale graph; tolerate ±0.02
+	// (±0.01 absolute on the near-1 value).
+	cases := []struct {
+		y, n0, wantF, tol float64
+	}{
+		{0.80, 2, 0.95, 0.02},
+		{0.80, 10, 0.38, 0.02},
+		{0.20, 2, 0.99, 0.01},
+		{0.20, 10, 0.63, 0.02},
+	}
+	for _, c := range cases {
+		m := mustModel(t, c.y, c.n0)
+		f, err := m.RequiredCoverage(0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-c.wantF) > c.tol {
+			t.Errorf("y=%v n0=%v: required f = %v, paper reads %v", c.y, c.n0, f, c.wantF)
+		}
+	}
+}
+
+func TestSection7ExampleNumbers(t *testing.T) {
+	// §7: for the 25k-transistor LSI chip, y=0.07, fitted n0=8:
+	// 1%% reject rate needs ~80%% coverage, 0.1%% needs ~95%%.
+	m := mustModel(t, 0.07, 8)
+	f1, err := m.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1-0.80) > 0.02 {
+		t.Errorf("r=1%%: required f = %v, paper says ~0.80", f1)
+	}
+	f2, err := m.RequiredCoverage(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f2-0.95) > 0.02 {
+		t.Errorf("r=0.1%%: required f = %v, paper says ~0.95", f2)
+	}
+}
+
+func TestFig4SpotCheck(t *testing.T) {
+	// §6: "if the field reject rate was specified as one in a thousand
+	// ... for yield y = 0.3 and n0 = 8, the fault coverage should be
+	// about 85 percent" (Fig. 4).
+	m := mustModel(t, 0.3, 8)
+	f, err := m.RequiredCoverage(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.85) > 0.02 {
+		t.Errorf("required f = %v, paper reads ~0.85", f)
+	}
+}
+
+func TestHigherN0NeedsLessCoverage(t *testing.T) {
+	// The paper's core qualitative claim: for a given yield and reject
+	// target, larger n0 (more faults per defective chip) lowers the
+	// required coverage.
+	prop := func(ry uint8) bool {
+		y := 0.05 + float64(ry)/256*0.9
+		m2 := Model{Y: y, N0: 2}
+		m10 := Model{Y: y, N0: 10}
+		f2, err1 := m2.RequiredCoverage(0.005)
+		f10, err2 := m10.RequiredCoverage(0.005)
+		return err1 == nil && err2 == nil && f10 < f2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredCoverageRoundTrip(t *testing.T) {
+	prop := func(ry, rn, rr uint8) bool {
+		y := 0.05 + float64(ry)/256*0.9
+		n0 := 1 + float64(rn)/16
+		r := 0.0005 + float64(rr)/256*0.05
+		m := Model{Y: y, N0: n0}
+		f, err := m.RequiredCoverage(r)
+		if err != nil {
+			return false
+		}
+		if f == 0 {
+			return m.RejectRate(0) <= r
+		}
+		return almostEq(m.RejectRate(f), r, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredCoverageZeroWhenTargetLoose(t *testing.T) {
+	m := mustModel(t, 0.99, 2) // 99% yield: r(0) = 0.01
+	f, err := m.RequiredCoverage(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("loose target should need no coverage, got %v", f)
+	}
+}
+
+func TestRequiredCoverageValidation(t *testing.T) {
+	m := mustModel(t, 0.5, 5)
+	for _, r := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := m.RequiredCoverage(r); err == nil {
+			t.Errorf("r=%v should error", r)
+		}
+	}
+}
+
+func TestYieldForRejectEq11(t *testing.T) {
+	// Eq. 11 must be the exact inverse of Eq. 8: if y solves
+	// YieldForReject(r, f), then Model{y, n0}.RejectRate(f) = r.
+	prop := func(rn, rf, rr uint8) bool {
+		n0 := 1 + float64(rn)/16
+		f := float64(rf) / 256 * 0.98
+		r := 0.0005 + float64(rr)/256*0.05
+		m := Model{Y: 0.5, N0: n0} // Y unused by YieldForReject
+		y, err := m.YieldForReject(r, f)
+		if err != nil {
+			return false
+		}
+		if y <= 0 || y >= 1 {
+			// r(f) can exceed r for every yield; in that regime Eq. 11
+			// still yields a valid probability.
+			return y >= 0 && y <= 1
+		}
+		check := Model{Y: y, N0: n0}
+		return almostEq(check.RejectRate(f), r, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalloutShape(t *testing.T) {
+	m := mustModel(t, 0.07, 8.8)
+	if m.Fallout(0) != 0 {
+		t.Error("P(0) must be 0")
+	}
+	if !almostEq(m.Fallout(1), 0.93, 1e-12) {
+		t.Errorf("P(1) = %v, want 1-y", m.Fallout(1))
+	}
+	// Monotone increasing and concave for n0 > 1 in the LSI regime.
+	prev := 0.0
+	for f := 0.01; f <= 1.0; f += 0.01 {
+		p := m.Fallout(f)
+		if p < prev {
+			t.Fatalf("fallout not monotone at f=%v", f)
+		}
+		prev = p
+	}
+}
+
+func TestFalloutSlopeMatchesDerivative(t *testing.T) {
+	m := mustModel(t, 0.2, 6)
+	for _, f := range []float64{0.01, 0.1, 0.3, 0.6, 0.9} {
+		h := 1e-6
+		num := (m.Fallout(f+h) - m.Fallout(f-h)) / (2 * h)
+		if got := m.FalloutSlope(f); !almostEq(got, num, 1e-4) {
+			t.Errorf("slope at %v: analytic %v, numeric %v", f, got, num)
+		}
+	}
+	// Eq. 10 at the origin.
+	if !almostEq(m.FalloutSlope(0), m.Nav(), 1e-12) {
+		t.Error("P'(0) != nav")
+	}
+}
+
+func TestTable1SlopeArithmetic(t *testing.T) {
+	// §7: P'(0) ≈ 0.41/0.05 = 8.2, and n0 = 8.2/0.93 = 8.8 (Eq. 10).
+	slope := 0.41 / 0.05
+	if !almostEq(slope, 8.2, 1e-12) {
+		t.Fatal("slope arithmetic")
+	}
+	n0 := slope / (1 - 0.07)
+	if math.Abs(n0-8.8) > 0.02 {
+		t.Errorf("n0 from slope = %v, paper says 8.8", n0)
+	}
+	// A model with that n0 reproduces the slope.
+	m := mustModel(t, 0.07, n0)
+	if !almostEq(m.FalloutSlope0(), 8.2, 1e-9) {
+		t.Errorf("FalloutSlope0 = %v", m.FalloutSlope0())
+	}
+}
+
+func TestDefectLevelDPM(t *testing.T) {
+	if DefectLevelDPM(0.001) != 1000 {
+		t.Error("0.1% should be 1000 DPM")
+	}
+}
+
+func TestCoveragePanicsOutOfRange(t *testing.T) {
+	m := mustModel(t, 0.5, 5)
+	for _, fn := range []func(){
+		func() { m.Ybg(-0.1) },
+		func() { m.Fallout(1.1) },
+		func() { m.FalloutSlope(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range coverage")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkRejectRate(b *testing.B) {
+	m := Model{Y: 0.07, N0: 8.8}
+	for i := 0; i < b.N; i++ {
+		m.RejectRate(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkRequiredCoverage(b *testing.B) {
+	m := Model{Y: 0.07, N0: 8.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RequiredCoverage(0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

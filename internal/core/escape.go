@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/numeric"
+)
+
+// EscapeApprox selects which approximation of the escape probability
+// q0(n) — the probability that a chip with n faults passes a test with
+// coverage f = m/N — is used. The three tiers are derived in the
+// paper's Appendix.
+type EscapeApprox int
+
+const (
+	// EscapeExact is the exact hypergeometric product (Eq. A.1):
+	// q0(n) = Π_{i=0}^{n-1} (N-m-i)/(N-i).
+	EscapeExact EscapeApprox = iota
+	// EscapeCorrected is Eq. A.2: (1-f)^n exp{-f n(n-1) / [2N(1-f)]},
+	// which the paper shows coincides with the exact value even for
+	// large n.
+	EscapeCorrected
+	// EscapeSimple is Eq. A.3 (= Eq. 5): (1-f)^n, accurate when
+	// n² << N(1-f)/f. This is the approximation the closed-form model
+	// (Eqs. 7-9) is built on.
+	EscapeSimple
+)
+
+// String names the approximation for reports.
+func (e EscapeApprox) String() string {
+	switch e {
+	case EscapeExact:
+		return "exact (A.1)"
+	case EscapeCorrected:
+		return "corrected (A.2)"
+	case EscapeSimple:
+		return "simple (A.3)"
+	default:
+		return fmt.Sprintf("EscapeApprox(%d)", int(e))
+	}
+}
+
+// Q0 returns the escape probability q0(n) for a chip with n of N
+// possible faults under a test covering m faults, using the requested
+// approximation tier. It panics on invalid arguments (n or m outside
+// [0, N]); the inputs come from enumeration loops, not user data.
+func Q0(n, m, total int, approx EscapeApprox) float64 {
+	if total <= 0 || n < 0 || n > total || m < 0 || m > total {
+		panic(fmt.Sprintf("core: invalid Q0 arguments n=%d m=%d N=%d", n, m, total))
+	}
+	switch approx {
+	case EscapeExact:
+		h := dist.Hypergeometric{N: total, K: n, M: m}
+		return h.PZeroExact()
+	case EscapeCorrected:
+		f := float64(m) / float64(total)
+		if f == 1 {
+			if n == 0 {
+				return 1
+			}
+			return 0
+		}
+		nn := float64(n)
+		corr := -f * nn * (nn - 1) / (2 * float64(total) * (1 - f))
+		return math.Pow(1-f, nn) * math.Exp(corr)
+	case EscapeSimple:
+		f := float64(m) / float64(total)
+		return math.Pow(1-f, float64(n))
+	default:
+		panic(fmt.Sprintf("core: unknown escape approximation %d", approx))
+	}
+}
+
+// YbgSummed computes the bad-chip pass probability by the defining sum
+// (Eq. 6), Ybg(f) = Σ_{n>=1} q0(n) p(n), with a selectable escape
+// approximation and an explicit fault universe size N. With
+// EscapeSimple and large N this converges to the closed form of Eq. 7;
+// the difference quantifies the closed form's truncation error.
+func (m Model) YbgSummed(f float64, total int, approx EscapeApprox) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	if total <= 0 {
+		panic("core: fault universe must be positive")
+	}
+	covered := int(math.Round(f * float64(total)))
+	pn := m.FaultCount()
+	var sum numeric.KahanSum
+	for n := 1; n <= total; n++ {
+		p := pn.PMF(n)
+		if p == 0 && n > int(m.N0)*4+20 {
+			break // Poisson tail has vanished
+		}
+		sum.Add(Q0(n, covered, total, approx) * p)
+	}
+	return sum.Sum()
+}
+
+// RejectRateSummed is RejectRate computed from YbgSummed instead of the
+// closed form; used to validate Eq. 8 against Eq. 6 directly.
+func (m Model) RejectRateSummed(f float64, total int, approx EscapeApprox) float64 {
+	ybg := m.YbgSummed(f, total, approx)
+	return ybg / (m.Y + ybg)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQ0ExactMatchesHypergeometricDefinition(t *testing.T) {
+	// A.1 product form vs explicit binomial-coefficient ratio for a
+	// small case: N=10, m=4, n=3:
+	// q0 = C(6,3)... the draw analogy: (6/10)(5/9)(4/8) with n=3 draws
+	// of the fault sites. Product over i: (N-m-i)/(N-i) = 6/10*5/9*4/8.
+	want := 6.0 / 10 * 5.0 / 9 * 4.0 / 8
+	if got := Q0(3, 4, 10, EscapeExact); !almostEq(got, want, 1e-12) {
+		t.Errorf("Q0 exact = %v, want %v", got, want)
+	}
+}
+
+func TestQ0Endpoints(t *testing.T) {
+	for _, ap := range []EscapeApprox{EscapeExact, EscapeCorrected, EscapeSimple} {
+		if got := Q0(0, 500, 1000, ap); got != 1 {
+			t.Errorf("%v: zero faults must always escape, got %v", ap, got)
+		}
+		if got := Q0(5, 1000, 1000, ap); got != 0 {
+			t.Errorf("%v: full coverage must never escape, got %v", ap, got)
+		}
+		if got := Q0(5, 0, 1000, ap); got != 1 {
+			t.Errorf("%v: zero coverage must always escape, got %v", ap, got)
+		}
+	}
+}
+
+func TestQ0ApproximationAccuracy(t *testing.T) {
+	// Fig. 6 of the paper (N=1000): for n <= 4 all three forms agree;
+	// A.2 coincides with A.1 even for larger n; A.3's error is "small
+	// but can be noticed".
+	const N = 1000
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		m := int(f * N)
+		for _, n := range []int{1, 2, 4} {
+			exact := Q0(n, m, N, EscapeExact)
+			for _, ap := range []EscapeApprox{EscapeCorrected, EscapeSimple} {
+				got := Q0(n, m, N, ap)
+				if !almostEq(got, exact, 0.01) {
+					t.Errorf("n=%d f=%v %v: %v vs exact %v", n, f, ap, got, exact)
+				}
+			}
+		}
+		// Larger n: A.2 coincides with A.1 throughout the range Fig. 6
+		// plots (q0 >= 1e-6); A.3 overestimates escape there.
+		for _, n := range []int{16, 32} {
+			exact := Q0(n, m, N, EscapeExact)
+			if exact < 1e-6 {
+				continue // below the floor of Fig. 6's log axis
+			}
+			corrected := Q0(n, m, N, EscapeCorrected)
+			if rel := math.Abs(corrected-exact) / exact; rel > 0.02 {
+				t.Errorf("A.2 relative error %v at n=%d f=%v", rel, n, f)
+			}
+			simple := Q0(n, m, N, EscapeSimple)
+			if simple < exact {
+				t.Errorf("A.3 should overestimate escape (underestimate detection) at n=%d f=%v: %v < %v",
+					n, f, simple, exact)
+			}
+		}
+	}
+}
+
+func TestQ0OrderingProperty(t *testing.T) {
+	// Without replacement detects more than with replacement, so the
+	// exact escape probability is never above the simple approximation:
+	// q0_exact <= (1-f)^n. A.2's correction factor is <= 1 and sits
+	// between them.
+	prop := func(rn, rm uint8) bool {
+		const N = 500
+		n := int(rn%30) + 1
+		m := int(float64(rm) / 256 * N)
+		exact := Q0(n, m, N, EscapeExact)
+		corrected := Q0(n, m, N, EscapeCorrected)
+		simple := Q0(n, m, N, EscapeSimple)
+		return exact <= corrected+1e-12 && corrected <= simple+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQ0MonotoneInCoverageAndFaults(t *testing.T) {
+	const N = 200
+	for _, ap := range []EscapeApprox{EscapeExact, EscapeCorrected, EscapeSimple} {
+		// More coverage, lower escape.
+		prev := 1.0
+		for m := 0; m <= N; m += 10 {
+			q := Q0(3, m, N, ap)
+			if q > prev+1e-12 {
+				t.Errorf("%v: escape rose with coverage at m=%d", ap, m)
+			}
+			prev = q
+		}
+		// More faults, lower escape.
+		prev = 1.0
+		for n := 0; n <= 20; n++ {
+			q := Q0(n, 100, N, ap)
+			if q > prev+1e-12 {
+				t.Errorf("%v: escape rose with fault count at n=%d", ap, n)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestQ0Panics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Q0(-1, 0, 10, EscapeExact) },
+		func() { Q0(0, 11, 10, EscapeExact) },
+		func() { Q0(0, 0, 0, EscapeExact) },
+		func() { Q0(1, 1, 10, EscapeApprox(99)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEscapeApproxString(t *testing.T) {
+	if EscapeExact.String() == "" || EscapeCorrected.String() == "" || EscapeSimple.String() == "" {
+		t.Error("empty String()")
+	}
+	if EscapeApprox(42).String() != "EscapeApprox(42)" {
+		t.Error("unknown approx String()")
+	}
+}
+
+func TestYbgSummedConvergesToClosedForm(t *testing.T) {
+	// Eq. 6 with the simple escape approximation and a large fault
+	// universe must agree with the closed form Eq. 7 (the infinite-sum
+	// simplification the paper argues is "numerically quite accurate").
+	m := Model{Y: 0.07, N0: 8.8}
+	const N = 20000
+	for _, f := range []float64{0, 0.1, 0.3, 0.5, 0.8, 0.95} {
+		summed := m.YbgSummed(f, N, EscapeSimple)
+		closed := m.Ybg(f)
+		if !almostEq(summed, closed, 1e-3) {
+			t.Errorf("f=%v: summed %v vs closed %v", f, summed, closed)
+		}
+	}
+}
+
+func TestYbgSummedExactVsSimpleSmallUniverse(t *testing.T) {
+	// With a small fault universe the exact hypergeometric escape is
+	// visibly below the closed form (finite-population correction) —
+	// this is the error the Appendix quantifies.
+	m := Model{Y: 0.2, N0: 10}
+	const N = 100
+	f := 0.5
+	exact := m.YbgSummed(f, N, EscapeExact)
+	simple := m.YbgSummed(f, N, EscapeSimple)
+	if exact > simple {
+		t.Errorf("exact %v should not exceed simple %v", exact, simple)
+	}
+	if almostEq(exact, simple, 1e-6) {
+		t.Error("finite-population correction should be visible at N=100")
+	}
+}
+
+func TestRejectRateSummedMatchesClosedForm(t *testing.T) {
+	m := Model{Y: 0.3, N0: 5}
+	const N = 20000
+	for _, f := range []float64{0.2, 0.5, 0.9} {
+		if got, want := m.RejectRateSummed(f, N, EscapeSimple), m.RejectRate(f); !almostEq(got, want, 1e-3) {
+			t.Errorf("f=%v: summed r %v vs closed %v", f, got, want)
+		}
+	}
+}
+
+func TestYbgSummedPanics(t *testing.T) {
+	m := Model{Y: 0.3, N0: 5}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for N=0")
+			}
+		}()
+		m.YbgSummed(0.5, 0, EscapeSimple)
+	}()
+}
+
+func BenchmarkQ0Exact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Q0(9, 650, 1000, EscapeExact)
+	}
+}
+
+func BenchmarkQ0Simple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Q0(9, 650, 1000, EscapeSimple)
+	}
+}
+
+func BenchmarkYbgSummedExact(b *testing.B) {
+	m := Model{Y: 0.07, N0: 8.8}
+	for i := 0; i < b.N; i++ {
+		m.YbgSummed(0.65, 5000, EscapeExact)
+	}
+}

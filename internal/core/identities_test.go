@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomModel maps two bytes to a valid model across the full regime.
+func randomModel(ry, rn uint8) Model {
+	return Model{
+		Y:  0.02 + float64(ry)/256*0.96,
+		N0: 1 + float64(rn)/8, // 1 .. ~33
+	}
+}
+
+func TestIdentityFalloutPlusYbg(t *testing.T) {
+	// From the definitions: a chip is either good (y), escapes (Ybg),
+	// or is rejected (P): P(f) + Ybg(f) = 1 - y at every coverage.
+	prop := func(ry, rn, rf uint8) bool {
+		m := randomModel(ry, rn)
+		f := float64(rf) / 255
+		return almostEq(m.Fallout(f)+m.Ybg(f), 1-m.Y, 1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityRejectRateDefinition(t *testing.T) {
+	// Eq. 8 is exactly Ybg/(y + Ybg) — the fraction of passers that
+	// are bad, with passers = y + Ybg.
+	prop := func(ry, rn, rf uint8) bool {
+		m := randomModel(ry, rn)
+		f := float64(rf) / 255
+		ybg := m.Ybg(f)
+		return almostEq(m.RejectRate(f), ybg/(m.Y+ybg), 1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityFalloutIsExpectedDetection(t *testing.T) {
+	// P(f) must equal the probability that a random chip carries at
+	// least one detected fault: Σ_n p(n) (1 - (1-f)^n). Connects Eq. 9
+	// back to Eq. 1 + Eq. 5 without the closed-form shortcut.
+	prop := func(ry, rn, rf uint8) bool {
+		m := randomModel(ry, rn%120) // keep the sum short
+		f := float64(rf) / 255
+		fc := m.FaultCount()
+		var sum float64
+		for n := 1; n <= 400; n++ {
+			p := fc.PMF(n)
+			if p == 0 && n > int(m.N0)*4+20 {
+				break
+			}
+			sum += p * (1 - math.Pow(1-f, float64(n)))
+		}
+		return almostEq(m.Fallout(f), sum, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectRateDecreasesWithN0(t *testing.T) {
+	// At fixed yield and coverage, more faults per bad chip means bad
+	// chips are caught more easily: r decreases in n0 for f > 0.
+	prop := func(ry, rf uint8) bool {
+		y := 0.02 + float64(ry)/256*0.96
+		f := 0.05 + float64(rf)/255*0.9
+		prev := math.Inf(1)
+		for n0 := 1.0; n0 <= 20; n0 += 1.5 {
+			r := Model{Y: y, N0: n0}.RejectRate(f)
+			if r > prev+1e-15 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredCoverageMonotoneInTarget(t *testing.T) {
+	// A stricter quality target can never need less coverage.
+	prop := func(ry, rn uint8) bool {
+		m := randomModel(ry, rn)
+		prev := 1.1
+		for _, r := range []float64{0.0005, 0.001, 0.005, 0.01, 0.05} {
+			f, err := m.RequiredCoverage(r)
+			if err != nil {
+				return false
+			}
+			if f > prev+1e-9 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalloutSaturatesAtDefectRate(t *testing.T) {
+	// P(f) can never exceed the defective fraction 1 - y.
+	prop := func(ry, rn, rf uint8) bool {
+		m := randomModel(ry, rn)
+		f := float64(rf) / 255
+		p := m.Fallout(f)
+		return p >= 0 && p <= 1-m.Y+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

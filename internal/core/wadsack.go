@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Wadsack is the baseline model the paper compares against (its
+// reference [5], R. L. Wadsack, "Fault Coverage in Digital Integrated
+// Circuits", BSTJ 1978). It assumes in effect a single fault per
+// defective chip, giving the field reject rate
+//
+//	r = (1 - y)(1 - f)
+//
+// (the form quoted in §7 of the paper). For high-yield SSI/MSI chips it
+// is adequate; for low-yield LSI it demands nearly unachievable
+// coverage, which is the gap the paper's model closes.
+type Wadsack struct {
+	Y float64 // yield in (0,1)
+}
+
+// NewWadsack validates the yield.
+func NewWadsack(y float64) (Wadsack, error) {
+	if !(y > 0 && y < 1) {
+		return Wadsack{}, fmt.Errorf("core: Wadsack yield must be in (0,1), got %v", y)
+	}
+	return Wadsack{Y: y}, nil
+}
+
+// RejectRate returns r = (1-y)(1-f).
+func (w Wadsack) RejectRate(f float64) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	return (1 - w.Y) * (1 - f)
+}
+
+// RequiredCoverage inverts the Wadsack reject rate: f = 1 - r/(1-y).
+// If the target is met at zero coverage, zero is returned.
+func (w Wadsack) RequiredCoverage(r float64) (float64, error) {
+	if !(r > 0 && r < 1) {
+		return 0, fmt.Errorf("core: target reject rate must be in (0,1), got %v", r)
+	}
+	f := 1 - r/(1-w.Y)
+	return numeric.Clamp(f, 0, 1), nil
+}
+
+var _ QualityModel = Wadsack{}
+var _ QualityModel = Model{}
+
+// QualityModel is the interface shared by the paper's model and the
+// Wadsack baseline: both convert a fault coverage to a field reject
+// rate and invert that relation.
+type QualityModel interface {
+	// RejectRate returns the field reject rate at fault coverage f.
+	RejectRate(f float64) float64
+	// RequiredCoverage returns the minimum coverage meeting target r.
+	RequiredCoverage(r float64) (float64, error)
+}
+
+// CoverageSavings reports how much coverage the paper's model saves
+// over the Wadsack baseline for the same yield and target reject rate.
+// Positive values mean the paper's model requires less coverage.
+func CoverageSavings(m Model, r float64) (paper, wadsack, savings float64, err error) {
+	w, err := NewWadsack(m.Y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	paper, err = m.RequiredCoverage(r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wadsack, err = w.RequiredCoverage(r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return paper, wadsack, wadsack - paper, nil
+}
+
+// GriffinMixed is the mixed-Poisson defect-level model of Griffin (the
+// paper's reference [15], ICCC 1980), included as a second historical
+// comparator. The defective-chip fault count is Poisson with mean θ
+// truncated at zero (no shift), so
+//
+//	Ybg(f) = (1-y) * (e^{-θ f} - e^{-θ}) / (1 - e^{-θ})
+//
+// which follows from averaging (1-f)^n ≈ e^{-θ f} over the zero-
+// truncated Poisson weights. θ plays the role of the paper's n0 but
+// without the unit shift.
+type GriffinMixed struct {
+	Y     float64
+	Theta float64 // mean of the untruncated Poisson, > 0
+}
+
+// NewGriffinMixed validates the parameters.
+func NewGriffinMixed(y, theta float64) (GriffinMixed, error) {
+	if !(y > 0 && y < 1) {
+		return GriffinMixed{}, fmt.Errorf("core: Griffin yield must be in (0,1), got %v", y)
+	}
+	if !(theta > 0) {
+		return GriffinMixed{}, fmt.Errorf("core: Griffin theta must be > 0, got %v", theta)
+	}
+	return GriffinMixed{Y: y, Theta: theta}, nil
+}
+
+// Ybg returns the bad-chip pass probability.
+func (g GriffinMixed) Ybg(f float64) float64 {
+	if err := checkCoverage(f); err != nil {
+		panic(err)
+	}
+	den := 1 - math.Exp(-g.Theta)
+	num := math.Exp(-g.Theta*f) - math.Exp(-g.Theta)
+	// Zero-truncated Poisson average of (1-f)^n with the standard
+	// e^{-θf} continuous approximation; exact at f=0 (Ybg=(1-y)) and
+	// f=1 (Ybg=0).
+	return (1 - g.Y) * num / den
+}
+
+// RejectRate returns Ybg/(y + Ybg).
+func (g GriffinMixed) RejectRate(f float64) float64 {
+	ybg := g.Ybg(f)
+	return ybg / (g.Y + ybg)
+}
+
+// RequiredCoverage inverts the Griffin reject rate numerically.
+func (g GriffinMixed) RequiredCoverage(r float64) (float64, error) {
+	if !(r > 0 && r < 1) {
+		return 0, fmt.Errorf("core: target reject rate must be in (0,1), got %v", r)
+	}
+	if g.RejectRate(0) <= r {
+		return 0, nil
+	}
+	f, err := numeric.Brent(func(f float64) float64 { return g.RejectRate(f) - r }, 0, 1, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	return numeric.Clamp(f, 0, 1), nil
+}
+
+var _ QualityModel = GriffinMixed{}

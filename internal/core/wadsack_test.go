@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWadsackValidation(t *testing.T) {
+	if _, err := NewWadsack(0); err == nil {
+		t.Error("yield 0 should error")
+	}
+	if _, err := NewWadsack(1); err == nil {
+		t.Error("yield 1 should error")
+	}
+	if _, err := NewWadsack(0.07); err != nil {
+		t.Errorf("valid yield errored: %v", err)
+	}
+}
+
+func TestWadsackSection7Numbers(t *testing.T) {
+	// §7: "From this formula, for r = 0.01, y = 0.07, we get f = 99
+	// percent and for r = 0.001, f = 99.9 percent."
+	w, err := NewWadsack(0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := w.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1-0.99) > 0.002 {
+		t.Errorf("r=1%%: f = %v, paper says 0.99", f1)
+	}
+	f2, err := w.RequiredCoverage(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f2-0.999) > 0.0002 {
+		t.Errorf("r=0.1%%: f = %v, paper says 0.999", f2)
+	}
+}
+
+func TestWadsackRejectRateForm(t *testing.T) {
+	w := Wadsack{Y: 0.8}
+	if !almostEq(w.RejectRate(0.5), 0.1, 1e-12) {
+		t.Errorf("r = %v, want (1-0.8)(1-0.5) = 0.1", w.RejectRate(0.5))
+	}
+	if w.RejectRate(1) != 0 {
+		t.Error("full coverage should give zero rejects")
+	}
+}
+
+func TestWadsackRoundTrip(t *testing.T) {
+	prop := func(ry, rr uint8) bool {
+		y := 0.05 + float64(ry)/256*0.9
+		r := 0.0005 + float64(rr)/256*0.05
+		w := Wadsack{Y: y}
+		f, err := w.RequiredCoverage(r)
+		if err != nil {
+			return false
+		}
+		if f == 0 {
+			return w.RejectRate(0) <= r
+		}
+		return almostEq(w.RejectRate(f), r, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWadsackCoverageClamped(t *testing.T) {
+	// High yield: target met trivially, coverage clamps to 0.
+	w := Wadsack{Y: 0.999}
+	f, err := w.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("f = %v, want 0", f)
+	}
+}
+
+func TestWadsackRequiredCoverageValidation(t *testing.T) {
+	w := Wadsack{Y: 0.5}
+	for _, r := range []float64{0, 1, -1} {
+		if _, err := w.RequiredCoverage(r); err == nil {
+			t.Errorf("r=%v should error", r)
+		}
+	}
+}
+
+func TestCoverageSavingsSection7(t *testing.T) {
+	// §7 headline: the paper's model needs ~80% where Wadsack needs
+	// ~99% (r=1%), and ~95% vs ~99.9% (r=0.1%).
+	m := Model{Y: 0.07, N0: 8}
+	paper, wadsack, savings, err := CoverageSavings(m, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(paper-0.80) > 0.02 || math.Abs(wadsack-0.99) > 0.002 {
+		t.Errorf("paper %v wadsack %v", paper, wadsack)
+	}
+	if savings < 0.15 {
+		t.Errorf("savings %v, expected ≈0.19", savings)
+	}
+	paper2, wadsack2, _, err := CoverageSavings(m, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(paper2-0.95) > 0.02 || math.Abs(wadsack2-0.999) > 0.0002 {
+		t.Errorf("r=0.1%%: paper %v wadsack %v", paper2, wadsack2)
+	}
+}
+
+func TestWadsackAlwaysDemandsMoreCoverage(t *testing.T) {
+	// For n0 well above 1 the paper's model requires less coverage than
+	// Wadsack at the same (y, r): multiple faults per bad chip make bad
+	// chips easier to catch. (Near n0 = 1 the two can cross, because
+	// Wadsack's r = (1-y)(1-f) is not normalized by the passing
+	// fraction y + Ybg; the paper's own comparison uses the LSI regime
+	// n0 ≈ 8.)
+	prop := func(ry, rn, rr uint8) bool {
+		y := 0.05 + float64(ry)/256*0.9
+		n0 := 3 + float64(rn)/16
+		r := 0.0005 + float64(rr)/256*0.02
+		m := Model{Y: y, N0: n0}
+		paper, wadsack, _, err := CoverageSavings(m, r)
+		if err != nil {
+			return false
+		}
+		return paper <= wadsack+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGriffinValidation(t *testing.T) {
+	if _, err := NewGriffinMixed(0, 5); err == nil {
+		t.Error("yield 0 should error")
+	}
+	if _, err := NewGriffinMixed(0.5, 0); err == nil {
+		t.Error("theta 0 should error")
+	}
+	if _, err := NewGriffinMixed(0.07, 8); err != nil {
+		t.Errorf("valid params errored: %v", err)
+	}
+}
+
+func TestGriffinEndpoints(t *testing.T) {
+	g, _ := NewGriffinMixed(0.07, 8)
+	if !almostEq(g.Ybg(0), 0.93, 1e-12) {
+		t.Errorf("Ybg(0) = %v, want 1-y", g.Ybg(0))
+	}
+	if !almostEq(g.Ybg(1), 0, 1e-12) {
+		t.Errorf("Ybg(1) = %v, want 0", g.Ybg(1))
+	}
+}
+
+func TestGriffinBetweenWadsackAndPaper(t *testing.T) {
+	// Griffin's mixed Poisson also credits multiple faults per chip, so
+	// like the paper's model it requires far less coverage than Wadsack
+	// at LSI yields.
+	g, _ := NewGriffinMixed(0.07, 8.8)
+	w, _ := NewWadsack(0.07)
+	fg, err := g.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, _ := w.RequiredCoverage(0.01)
+	if fg >= fw {
+		t.Errorf("Griffin %v should beat Wadsack %v", fg, fw)
+	}
+}
+
+func TestGriffinRoundTrip(t *testing.T) {
+	g, _ := NewGriffinMixed(0.2, 6)
+	f, err := g.RequiredCoverage(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(g.RejectRate(f), 0.004, 1e-6) {
+		t.Errorf("round trip r = %v", g.RejectRate(f))
+	}
+}
+
+func TestQualityModelInterface(t *testing.T) {
+	models := []QualityModel{
+		Model{Y: 0.07, N0: 8},
+		Wadsack{Y: 0.07},
+		GriffinMixed{Y: 0.07, Theta: 8},
+	}
+	for i, qm := range models {
+		r0 := qm.RejectRate(0)
+		if !almostEq(r0, 0.93, 1e-9) {
+			t.Errorf("model %d: r(0) = %v, want 0.93", i, r0)
+		}
+		if qm.RejectRate(1) > 1e-12 {
+			t.Errorf("model %d: r(1) = %v, want 0", i, qm.RejectRate(1))
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package defect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+func almostEq(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestModelValidate(t *testing.T) {
+	good := Model{D0A: 2, FaultsPerDefect: 3, Locality: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Model{
+		{D0A: -1, FaultsPerDefect: 2},
+		{D0A: 1, FaultsPerDefect: 0.5},
+		{D0A: 1, FaultsPerDefect: 2, Locality: 1.5},
+		{D0A: 1, FaultsPerDefect: 2, Count: ClusteredDefects, Cluster: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestCountModelString(t *testing.T) {
+	if PoissonDefects.String() != "poisson" || ClusteredDefects.String() != "clustered" {
+		t.Error("count model names")
+	}
+	if CountModel(7).String() != "CountModel(7)" {
+		t.Error("unknown count model name")
+	}
+}
+
+func TestTheoreticalYield(t *testing.T) {
+	// Poisson: y = e^{-D0A}.
+	m := Model{D0A: 2.659, FaultsPerDefect: 2}
+	if !almostEq(m.TheoreticalYield(), math.Exp(-2.659), 1e-12) {
+		t.Errorf("poisson yield = %v", m.TheoreticalYield())
+	}
+	// Clustered: y = (1 + D0A/r)^{-r} (negative binomial zero mass).
+	mc := Model{D0A: 2, Count: ClusteredDefects, Cluster: 2, FaultsPerDefect: 2}
+	want := math.Pow(1+1.0, -2.0)
+	if !almostEq(mc.TheoreticalYield(), want, 1e-9) {
+		t.Errorf("clustered yield = %v, want %v", mc.TheoreticalYield(), want)
+	}
+}
+
+func TestDefectCountMatchesYield(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Model{D0A: 2.659, FaultsPerDefect: 2} // e^-2.659 ≈ 0.07
+	const n = 100000
+	zero := 0
+	for i := 0; i < n; i++ {
+		if m.DefectCount(rng) == 0 {
+			zero++
+		}
+	}
+	if got := float64(zero) / n; !almostEq(got, m.TheoreticalYield(), 0.05) {
+		t.Errorf("empirical yield %v vs theoretical %v", got, m.TheoreticalYield())
+	}
+}
+
+func TestCastFaultsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Model{D0A: 1, FaultsPerDefect: 4, Locality: 0.8, Window: 10}
+	for trial := 0; trial < 200; trial++ {
+		idxs := m.CastFaults(rng, 100, 3)
+		seen := make(map[int]bool)
+		for _, i := range idxs {
+			if i < 0 || i >= 100 {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatal("duplicate fault index")
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestCastFaultsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Model{D0A: 1, FaultsPerDefect: 2}
+	if got := m.CastFaults(rng, 0, 3); got != nil {
+		t.Error("empty universe should give nil")
+	}
+	if got := m.CastFaults(rng, 10, 0); got != nil {
+		t.Error("zero defects should give nil")
+	}
+	// Saturation: more faults than the universe holds.
+	sat := Model{D0A: 1, FaultsPerDefect: 50}
+	idxs := sat.CastFaults(rng, 5, 10)
+	if len(idxs) > 5 {
+		t.Errorf("cast %d faults into universe of 5", len(idxs))
+	}
+}
+
+func TestExpectedN0(t *testing.T) {
+	// Poisson defects, mean d; E[defects | >=1] = d/(1-e^-d). With
+	// FaultsPerDefect = 3 the expected n0 is 3 d/(1-e^-d).
+	m := Model{D0A: 2, FaultsPerDefect: 3}
+	want := 3 * 2 / (1 - math.Exp(-2))
+	if !almostEq(m.ExpectedN0(), want, 1e-9) {
+		t.Errorf("ExpectedN0 = %v, want %v", m.ExpectedN0(), want)
+	}
+}
+
+func universeFor(t *testing.T) []fault.Fault {
+	t.Helper()
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+}
+
+func TestGenerateLotYield(t *testing.T) {
+	universe := universeFor(t)
+	rng := rand.New(rand.NewSource(9))
+	m := Model{D0A: 2.659, FaultsPerDefect: 3.3, Locality: 0.7}
+	lot, err := GenerateLot(m, universe, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(lot.Yield, m.TheoreticalYield(), 0.08) {
+		t.Errorf("lot yield %v vs theoretical %v", lot.Yield, m.TheoreticalYield())
+	}
+	// Empirical n0 should be near the model's expectation.
+	if got := lot.MeanFaultsOnDefective(); !almostEq(got, m.ExpectedN0(), 0.1) {
+		t.Errorf("lot n0 %v vs expected %v", got, m.ExpectedN0())
+	}
+}
+
+func TestGenerateLotErrors(t *testing.T) {
+	universe := universeFor(t)
+	rng := rand.New(rand.NewSource(1))
+	m := Model{D0A: 1, FaultsPerDefect: 2}
+	if _, err := GenerateLot(m, universe, 0, rng); err == nil {
+		t.Error("zero chips should error")
+	}
+	if _, err := GenerateLot(m, nil, 10, rng); err == nil {
+		t.Error("empty universe should error")
+	}
+	if _, err := GenerateLot(Model{D0A: -1, FaultsPerDefect: 2}, universe, 10, rng); err == nil {
+		t.Error("invalid model should error")
+	}
+}
+
+func TestGenerateLotFromModel(t *testing.T) {
+	universe := universeFor(t)
+	rng := rand.New(rand.NewSource(6))
+	lot, err := GenerateLotFromModel(0.07, 8.8, universe, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(lot.Yield, 0.07, 0.08) {
+		t.Errorf("lot yield %v", lot.Yield)
+	}
+	if got := lot.MeanFaultsOnDefective(); !almostEq(got, 8.8, 0.03) {
+		t.Errorf("lot n0 %v, want 8.8", got)
+	}
+	// All fault indices valid and distinct per chip.
+	for _, chip := range lot.Chips[:100] {
+		seen := make(map[int]bool)
+		for _, fi := range chip.Faults {
+			if fi < 0 || fi >= len(universe) {
+				t.Fatal("fault index out of range")
+			}
+			if seen[fi] {
+				t.Fatal("duplicate fault on chip")
+			}
+			seen[fi] = true
+		}
+	}
+}
+
+func TestGenerateLotFromModelErrors(t *testing.T) {
+	universe := universeFor(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateLotFromModel(2, 8, universe, 10, rng); err == nil {
+		t.Error("invalid yield should error")
+	}
+	if _, err := GenerateLotFromModel(0.5, 8, universe, 0, rng); err == nil {
+		t.Error("zero chips should error")
+	}
+	if _, err := GenerateLotFromModel(0.5, 8, nil, 10, rng); err == nil {
+		t.Error("empty universe should error")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(20)
+		out := sampleDistinct(rng, 20, k)
+		if len(out) != k {
+			t.Fatalf("got %d, want %d", len(out), k)
+		}
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("bad sample %v", out)
+			}
+			seen[v] = true
+		}
+	}
+	if sampleDistinct(rng, 10, 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+}
+
+func TestMeanFaultsOnDefectiveEmpty(t *testing.T) {
+	lot := Lot{Chips: []Chip{{}, {}}}
+	if lot.MeanFaultsOnDefective() != 0 {
+		t.Error("all-good lot should report 0")
+	}
+}
+
+func TestClusteredLotOverdispersion(t *testing.T) {
+	// Clustered defects raise the variance of per-chip defect counts
+	// relative to Poisson at the same mean, hence a higher yield for
+	// the same D0A (Stapper's point behind Eq. 3).
+	universe := universeFor(t)
+	rngA := rand.New(rand.NewSource(10))
+	rngB := rand.New(rand.NewSource(10))
+	poisson := Model{D0A: 2, FaultsPerDefect: 2}
+	clustered := Model{D0A: 2, Count: ClusteredDefects, Cluster: 0.5, FaultsPerDefect: 2}
+	lotP, err := GenerateLot(poisson, universe, 20000, rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lotC, err := GenerateLot(clustered, universe, 20000, rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lotC.Yield <= lotP.Yield {
+		t.Errorf("clustered yield %v should exceed poisson %v at same D0A", lotC.Yield, lotP.Yield)
+	}
+}
+
+func BenchmarkGenerateLot(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	m := Model{D0A: 2.659, FaultsPerDefect: 3.3, Locality: 0.7}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateLot(m, universe, 277, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

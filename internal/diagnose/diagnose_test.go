@@ -1,0 +1,221 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+func buildDict(t *testing.T) (*Dictionary, []fault.Fault) {
+	t.Helper()
+	c, err := netlist.RippleAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	src, err := atpg.NewRandomSource(len(c.Inputs), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := atpg.Take(src, 96)
+	d, err := Build(c, faults, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, faults
+}
+
+func TestBuildErrors(t *testing.T) {
+	c := netlist.C17()
+	if _, err := Build(c, nil, nil); err == nil {
+		t.Error("no patterns should error")
+	}
+}
+
+func TestSyndromeHelpers(t *testing.T) {
+	s := Syndrome{0, 0b101, 0}
+	if !s.Fails() || s.FirstFail() != 1 {
+		t.Error("syndrome helpers")
+	}
+	empty := Syndrome{0, 0}
+	if empty.Fails() || empty.FirstFail() != -1 {
+		t.Error("passing syndrome helpers")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Syndrome{0b11, 0}
+	b := Syndrome{0b01, 0b1}
+	if got := distance(a, b); got != 2 {
+		t.Errorf("distance = %d, want 2", got)
+	}
+	// Length mismatch counts the overhang.
+	if got := distance(Syndrome{0b1}, Syndrome{0b1, 0b11}); got != 2 {
+		t.Errorf("ragged distance = %d, want 2", got)
+	}
+}
+
+func TestSingleFaultExactDiagnosis(t *testing.T) {
+	// A chip with exactly one modelled fault must diagnose to a
+	// candidate set that contains that fault at distance 0.
+	d, faults := buildDict(t)
+	for fi := 0; fi < len(faults); fi += 5 {
+		f := faults[fi]
+		syn, err := d.ObserveChip([]logicsim.Injection{{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !syn.Fails() {
+			continue // undetected by this pattern set; nothing to locate
+		}
+		cands := d.Diagnose(syn, 5)
+		found := false
+		for _, cand := range cands {
+			if cand.Fault == f {
+				if cand.Distance != 0 {
+					t.Errorf("fault %v diagnosed at distance %d", f, cand.Distance)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fault %v not in top candidates", f)
+		}
+	}
+}
+
+func TestDiagnoseTopCandidateIsExact(t *testing.T) {
+	d, faults := buildDict(t)
+	f := faults[3]
+	syn, err := d.ObserveChip([]logicsim.Injection{{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Diagnose(syn, 1)
+	if len(cands) == 0 || cands[0].Distance != 0 {
+		t.Fatalf("best candidate %+v", cands)
+	}
+}
+
+func TestDoubleFaultDiagnosisNearby(t *testing.T) {
+	// Multi-fault chips aren't in the single-fault dictionary, but the
+	// nearest candidates should usually include one of the two injected
+	// faults (the classic dictionary-diagnosis heuristic).
+	d, faults := buildDict(t)
+	rng := rand.New(rand.NewSource(3))
+	hits, trials := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		i := rng.Intn(len(faults))
+		j := rng.Intn(len(faults))
+		if i == j {
+			continue
+		}
+		fi, fj := faults[i], faults[j]
+		syn, err := d.ObserveChip([]logicsim.Injection{
+			{Gate: fi.Gate, Pin: fi.Pin, Stuck: fi.Stuck},
+			{Gate: fj.Gate, Pin: fj.Pin, Stuck: fj.Stuck},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !syn.Fails() {
+			continue
+		}
+		trials++
+		for _, cand := range d.Diagnose(syn, 5) {
+			if cand.Fault == fi || cand.Fault == fj {
+				hits++
+				break
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no usable double-fault trials")
+	}
+	if float64(hits) < 0.7*float64(trials) {
+		t.Errorf("double-fault diagnosis hit rate %d/%d", hits, trials)
+	}
+}
+
+func TestResolution(t *testing.T) {
+	d, faults := buildDict(t)
+	classes, largest := d.Resolution()
+	if classes < 2 || classes > len(faults) {
+		t.Errorf("classes = %d", classes)
+	}
+	if largest < 1 {
+		t.Errorf("largest = %d", largest)
+	}
+	// With a near-complete random set, most faults should be
+	// distinguishable: classes close to the fault count.
+	if float64(classes) < 0.5*float64(len(faults)) {
+		t.Errorf("resolution too poor: %d classes for %d faults", classes, len(faults))
+	}
+}
+
+func TestDiagnoseLimitExpansion(t *testing.T) {
+	d, _ := buildDict(t)
+	// Diagnosing an all-pass syndrome: every undetected fault matches
+	// at distance 0 and the limit must expand to include them all.
+	syn := make(Syndrome, 96)
+	cands := d.Diagnose(syn, 1)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Distance == 0 && cands[i-1].Distance != 0 {
+			t.Fatal("exact matches not contiguous at front")
+		}
+	}
+	if len(cands) >= 1 && cands[0].Distance == 0 {
+		// All leading zero-distance candidates kept.
+		last := 0
+		for last < len(cands) && cands[last].Distance == 0 {
+			last++
+		}
+		if last < 1 {
+			t.Error("limit expansion failed")
+		}
+	}
+}
+
+func BenchmarkDictionaryBuild(b *testing.B) {
+	c, err := netlist.RippleAdder(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	src, _ := atpg.NewRandomSource(len(c.Inputs), 5)
+	patterns := atpg.Take(src, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(c, faults, patterns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiagnose(b *testing.B) {
+	c, err := netlist.RippleAdder(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	src, _ := atpg.NewRandomSource(len(c.Inputs), 5)
+	patterns := atpg.Take(src, 96)
+	d, err := Build(c, faults, patterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := faults[7]
+	syn, err := d.ObserveChip([]logicsim.Injection{{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Diagnose(syn, 5)
+	}
+}

@@ -1,0 +1,55 @@
+package estimate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV reads a fallout curve from "coverage,fraction_failed" lines.
+// Blank lines and lines starting with '#' are skipped. The parsed
+// curve is validated (cumulative, in range) before being returned.
+func ParseCSV(r io.Reader) (Curve, error) {
+	var curve Curve
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("estimate: line %d: want coverage,fraction", line)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("estimate: line %d: coverage: %v", line, err)
+		}
+		fail, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("estimate: line %d: fraction: %v", line, err)
+		}
+		curve = append(curve, FalloutPoint{F: f, Fail: fail})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := curve.Validate(); err != nil {
+		return nil, err
+	}
+	return curve, nil
+}
+
+// WriteCSV writes the curve in the format ParseCSV reads.
+func WriteCSV(w io.Writer, c Curve) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# coverage,fraction_failed")
+	for _, p := range c {
+		fmt.Fprintf(bw, "%g,%g\n", p.F, p.Fail)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,61 @@
+package estimate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCSV(t *testing.T) {
+	src := `# header comment
+0.05, 0.41
+
+0.10,0.52
+0.65,0.93
+`
+	curve, err := ParseCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("points %d", len(curve))
+	}
+	if curve[0].F != 0.05 || curve[0].Fail != 0.41 {
+		t.Errorf("first point %+v", curve[0])
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"0.1;0.2\n",        // wrong delimiter
+		"abc,0.2\n",        // bad coverage
+		"0.1,xyz\n",        // bad fraction
+		"0.5,0.2\n0.4,0.3", // non-cumulative coverage
+		"0.1,0.5\n0.2,0.4", // non-cumulative fraction
+		"1.5,0.5\n2.0,0.6", // out of range
+		"",                 // empty => invalid curve
+	}
+	for i, src := range cases {
+		if _, err := ParseCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, PaperTable1.Curve); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(PaperTable1.Curve) {
+		t.Fatalf("round trip lost points: %d", len(back))
+	}
+	for i := range back {
+		if back[i] != PaperTable1.Curve[i] {
+			t.Errorf("point %d changed: %+v vs %+v", i, back[i], PaperTable1.Curve[i])
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package estimate implements §5 of the paper: determining the model
+// parameter n0 (average number of faults on a defective chip) from a
+// production-lot experiment. The input is a fallout curve — pairs of
+// (cumulative fault coverage, cumulative fraction of chips failed) —
+// obtained by testing chips with an ordered pattern set whose coverage
+// ramp is known from fault simulation.
+//
+// Two estimators are provided, matching the paper:
+//
+//   - FitN0: least-squares fit of the theoretical fallout P(f) (Eq. 9)
+//     over an n0 grid, refined by golden-section search (the "family of
+//     curves" method of Fig. 5);
+//   - SlopeN0: the origin-slope method of Eq. 10, P'(0) = (1-y) n0,
+//     using the first few fallout points.
+//
+// A bootstrap routine quantifies the sampling uncertainty of the fit.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// FalloutPoint is one observation from the lot experiment: after
+// applying patterns reaching cumulative coverage F, a cumulative
+// fraction Fail of the tested chips had failed.
+type FalloutPoint struct {
+	F    float64 // cumulative single-stuck-at fault coverage, in [0,1]
+	Fail float64 // cumulative fraction of chips failed, in [0,1]
+}
+
+// Curve is an ordered fallout curve.
+type Curve []FalloutPoint
+
+// Validate checks that the curve is non-empty, within bounds, and
+// non-decreasing in both coordinates (cumulative quantities).
+func (c Curve) Validate() error {
+	if len(c) == 0 {
+		return errors.New("estimate: empty fallout curve")
+	}
+	prev := FalloutPoint{F: -1, Fail: -1}
+	for i, p := range c {
+		if !(p.F >= 0 && p.F <= 1) || !(p.Fail >= 0 && p.Fail <= 1) {
+			return fmt.Errorf("estimate: point %d out of range: %+v", i, p)
+		}
+		if p.F < prev.F || p.Fail < prev.Fail-1e-12 {
+			return fmt.Errorf("estimate: curve not cumulative at point %d: %+v after %+v", i, p, prev)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// Coverages returns the coverage coordinates of the curve.
+func (c Curve) Coverages() []float64 {
+	out := make([]float64, len(c))
+	for i, p := range c {
+		out[i] = p.F
+	}
+	return out
+}
+
+// Fractions returns the cumulative failed fractions of the curve.
+func (c Curve) Fractions() []float64 {
+	out := make([]float64, len(c))
+	for i, p := range c {
+		out[i] = p.Fail
+	}
+	return out
+}
+
+// Result reports an n0 estimate.
+type Result struct {
+	N0     float64 // estimated mean faults per defective chip
+	SSE    float64 // sum of squared errors of the fitted curve (FitN0)
+	Method string  // "curve-fit" or "slope"
+}
+
+// n0SearchMax bounds the n0 grid; defective LSI chips in the paper's
+// regime carry at most a few tens of faults on average.
+const n0SearchMax = 100
+
+// FitN0 estimates n0 by fitting Eq. 9 to the fallout curve for a known
+// yield y, exactly as Fig. 5 overlays the data on the P(f) family. The
+// fit minimizes the sum of squared vertical distances.
+func FitN0(c Curve, y float64) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !(y > 0 && y < 1) {
+		return Result{}, fmt.Errorf("estimate: yield must be in (0,1), got %v", y)
+	}
+	xs, ys := c.Coverages(), c.Fractions()
+	sse := func(n0 float64) float64 {
+		m := core.Model{Y: y, N0: n0}
+		return numeric.SSE(xs, ys, m.Fallout)
+	}
+	coarse := numeric.GridMinimize(sse, 1, n0SearchMax, 400)
+	lo := math.Max(1, coarse-1)
+	hi := math.Min(n0SearchMax, coarse+1)
+	n0 := numeric.GoldenMinimize(sse, lo, hi, 1e-8)
+	return Result{N0: n0, SSE: sse(n0), Method: "curve-fit"}, nil
+}
+
+// FitN0AndYield jointly estimates (y, n0) when the process yield is not
+// known independently. The paper notes P(f) → 1-y as f → 1, so the
+// yield is identified by the curve's plateau; the joint fit performs a
+// nested minimization: for each candidate y, fit n0, and pick the pair
+// with the smallest SSE.
+func FitN0AndYield(c Curve) (n0, y float64, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, err
+	}
+	outer := func(yc float64) float64 {
+		r, err := FitN0(c, yc)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return r.SSE
+	}
+	coarseY := numeric.GridMinimize(outer, 0.005, 0.995, 200)
+	yBest := numeric.GoldenMinimize(outer, math.Max(0.005, coarseY-0.01), math.Min(0.995, coarseY+0.01), 1e-6)
+	r, err := FitN0(c, yBest)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.N0, yBest, nil
+}
+
+// SlopeN0 estimates n0 from the origin slope (Eq. 10): a line through
+// the origin is fitted to the fallout points with coverage at most
+// maxF, and n0 = slope / (1-y). The paper uses the first table row
+// (f=0.05, fail=0.41) giving slope 8.2 and n0 = 8.8.
+//
+// If y is not known, pass y = 0: the paper points out that P'(0)
+// itself is then a safe (pessimistic) stand-in for n0.
+func SlopeN0(c Curve, y, maxF float64) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !(y >= 0 && y < 1) {
+		return Result{}, fmt.Errorf("estimate: yield must be in [0,1), got %v", y)
+	}
+	if maxF <= 0 {
+		return Result{}, fmt.Errorf("estimate: maxF must be positive, got %v", maxF)
+	}
+	var xs, ys []float64
+	for _, p := range c {
+		if p.F > 0 && p.F <= maxF {
+			xs = append(xs, p.F)
+			ys = append(ys, p.Fail)
+		}
+	}
+	if len(xs) == 0 {
+		return Result{}, fmt.Errorf("estimate: no fallout points with coverage in (0, %v]", maxF)
+	}
+	slope, err := numeric.LinearFitThroughOrigin(xs, ys)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{N0: slope / (1 - y), Method: "slope"}, nil
+}
+
+// Bootstrap resamples per-chip first-fail outcomes and refits n0,
+// returning the requested quantiles of the estimate (e.g. 0.025, 0.975
+// for a 95% interval). chips is the per-chip outcome list used to build
+// the curve: for each chip, the coverage at which it first failed, or
+// NaN if it passed all patterns. rounds controls the number of
+// bootstrap replicates.
+func Bootstrap(chips []float64, coverages []float64, y float64, rounds int, quantiles []float64, rng *rand.Rand) ([]float64, error) {
+	if len(chips) == 0 {
+		return nil, errors.New("estimate: no chips to bootstrap")
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("estimate: rounds must be positive, got %d", rounds)
+	}
+	estimates := make([]float64, 0, rounds)
+	resampled := make([]float64, len(chips))
+	for b := 0; b < rounds; b++ {
+		for i := range resampled {
+			resampled[i] = chips[rng.Intn(len(chips))]
+		}
+		curve := CurveFromFirstFails(resampled, coverages)
+		r, err := FitN0(curve, y)
+		if err != nil {
+			continue
+		}
+		estimates = append(estimates, r.N0)
+	}
+	if len(estimates) == 0 {
+		return nil, errors.New("estimate: every bootstrap replicate failed to fit")
+	}
+	sort.Float64s(estimates)
+	out := make([]float64, len(quantiles))
+	for i, q := range quantiles {
+		idx := int(q * float64(len(estimates)-1))
+		out[i] = estimates[numeric.ClampInt(idx, 0, len(estimates)-1)]
+	}
+	return out, nil
+}
+
+// CurveFromFirstFails builds the cumulative fallout curve from per-chip
+// first-fail coverages. coverages is the ordered cumulative-coverage
+// checkpoint list of the pattern set; a chip with first-fail coverage c
+// counts as failed at every checkpoint >= c. Chips with NaN (never
+// failed) count in the denominator only.
+func CurveFromFirstFails(firstFail []float64, coverages []float64) Curve {
+	total := len(firstFail)
+	curve := make(Curve, len(coverages))
+	for i, f := range coverages {
+		failed := 0
+		for _, ff := range firstFail {
+			if !math.IsNaN(ff) && ff <= f {
+				failed++
+			}
+		}
+		curve[i] = FalloutPoint{F: f, Fail: float64(failed) / float64(total)}
+	}
+	return curve
+}

@@ -1,0 +1,99 @@
+package estimate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// GoF reports a chi-square goodness-of-fit test of the model against
+// binned lot-fallout counts.
+type GoF struct {
+	ChiSquare float64
+	DF        int
+	PValue    float64
+	// Bins after merging low-expectation neighbours.
+	Bins int
+}
+
+// GoodnessOfFit tests whether the fitted model's fallout P(f) is
+// consistent with the observed cumulative failure counts: the lot of
+// `total` chips is binned by first-fail coverage interval (counts[i]
+// chips first failed in (coverage[i-1], coverage[i]], with a final
+// implicit never-failed bin), expected bin masses come from Eq. 9, and
+// adjacent bins are merged until every expected count is at least 5
+// (the usual chi-square validity rule). fittedParams is the number of
+// model parameters estimated from this same data (1 when only n0 was
+// fitted, 2 for a joint yield+n0 fit); it reduces the degrees of
+// freedom.
+func GoodnessOfFit(m core.Model, coverages []float64, cumCounts []int, total, fittedParams int) (GoF, error) {
+	if len(coverages) != len(cumCounts) || len(coverages) < 2 {
+		return GoF{}, fmt.Errorf("estimate: need >= 2 matched checkpoints")
+	}
+	if total <= 0 {
+		return GoF{}, fmt.Errorf("estimate: total chips must be positive")
+	}
+	prevCov, prevCount := 0.0, 0
+	var observed []float64
+	var expected []float64
+	for i := range coverages {
+		f := coverages[i]
+		if f < prevCov || cumCounts[i] < prevCount || cumCounts[i] > total {
+			return GoF{}, fmt.Errorf("estimate: checkpoints not cumulative at %d", i)
+		}
+		observed = append(observed, float64(cumCounts[i]-prevCount))
+		expected = append(expected, float64(total)*(m.Fallout(f)-m.Fallout(prevCov)))
+		prevCov, prevCount = f, cumCounts[i]
+	}
+	// Final bin: chips that never failed (or failed beyond the last
+	// checkpoint).
+	observed = append(observed, float64(total-prevCount))
+	expected = append(expected, float64(total)*(1-m.Fallout(prevCov)))
+
+	// Merge adjacent bins until all expected counts reach 5.
+	obs, exp := mergeBins(observed, expected, 5)
+	if len(obs) < 2 {
+		return GoF{}, fmt.Errorf("estimate: too few usable bins after merging")
+	}
+	var chi numeric.KahanSum
+	for i := range obs {
+		d := obs[i] - exp[i]
+		chi.Add(d * d / exp[i])
+	}
+	df := len(obs) - 1 - fittedParams
+	if df < 1 {
+		df = 1
+	}
+	return GoF{
+		ChiSquare: chi.Sum(),
+		DF:        df,
+		PValue:    numeric.ChiSquareSurvival(chi.Sum(), df),
+		Bins:      len(obs),
+	}, nil
+}
+
+// mergeBins greedily merges each low-expectation bin into its right
+// neighbour (the last bin merges leftward).
+func mergeBins(obs, exp []float64, minExp float64) (o, e []float64) {
+	o = append([]float64(nil), obs...)
+	e = append([]float64(nil), exp...)
+	for i := 0; i < len(e); {
+		if e[i] >= minExp || len(e) <= 1 {
+			i++
+			continue
+		}
+		j := i + 1
+		if j >= len(e) {
+			j = i - 1
+		}
+		e[j] += e[i]
+		o[j] += o[i]
+		e = append(e[:i], e[i+1:]...)
+		o = append(o[:i], o[i+1:]...)
+		if j < i {
+			i = j
+		}
+	}
+	return o, e
+}

@@ -1,0 +1,127 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// simulateLotCounts draws a lot from the model and returns cumulative
+// first-fail counts at the checkpoints, using the Eq. 5 escape model.
+func simulateLotCounts(m core.Model, coverages []float64, total int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	fc := m.FaultCount()
+	counts := make([]int, len(coverages))
+	for chip := 0; chip < total; chip++ {
+		n := fc.Sample(rng)
+		ff := firstFailCoverage(rng, n, coverages)
+		for i, f := range coverages {
+			if !math.IsNaN(ff) && ff <= f {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+func TestGoodnessOfFitAcceptsTrueModel(t *testing.T) {
+	m := core.Model{Y: 0.07, N0: 8.8}
+	coverages := []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65}
+	counts := simulateLotCounts(m, coverages, 1000, 3)
+	gof, err := GoodnessOfFit(m, coverages, counts, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 0.01 {
+		t.Errorf("true model rejected: chi2=%v df=%d p=%v", gof.ChiSquare, gof.DF, gof.PValue)
+	}
+	if gof.Bins < 2 {
+		t.Error("too few bins")
+	}
+}
+
+func TestGoodnessOfFitRejectsWrongModel(t *testing.T) {
+	truth := core.Model{Y: 0.07, N0: 8.8}
+	wrong := core.Model{Y: 0.07, N0: 2}
+	coverages := []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65}
+	counts := simulateLotCounts(truth, coverages, 1000, 3)
+	gof, err := GoodnessOfFit(wrong, coverages, counts, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue > 1e-4 {
+		t.Errorf("wrong model accepted: p=%v", gof.PValue)
+	}
+}
+
+func TestGoodnessOfFitPaperData(t *testing.T) {
+	// The paper's fitted n0 ≈ 8 curve should be a plausible fit to its
+	// own Table 1 counts; n0 = 3 should be strongly rejected (§7's
+	// argument, quantified).
+	m8 := core.Model{Y: 0.07, N0: 8.66}
+	coverages := PaperTable1.Curve.Coverages()
+	gof8, err := GoodnessOfFit(m8, coverages, PaperTable1.Counts, PaperTable1.TotalChips, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := core.Model{Y: 0.07, N0: 3}
+	gof3, err := GoodnessOfFit(m3, coverages, PaperTable1.Counts, PaperTable1.TotalChips, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof3.PValue >= gof8.PValue {
+		t.Errorf("n0=3 (p=%v) should fit far worse than n0=8.66 (p=%v)", gof3.PValue, gof8.PValue)
+	}
+	if gof3.PValue > 1e-6 {
+		t.Errorf("n0=3 should be decisively rejected, p=%v", gof3.PValue)
+	}
+}
+
+func TestGoodnessOfFitValidation(t *testing.T) {
+	m := core.Model{Y: 0.5, N0: 5}
+	if _, err := GoodnessOfFit(m, []float64{0.1}, []int{5}, 10, 1); err == nil {
+		t.Error("single checkpoint should error")
+	}
+	if _, err := GoodnessOfFit(m, []float64{0.1, 0.2}, []int{5}, 10, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := GoodnessOfFit(m, []float64{0.2, 0.1}, []int{3, 5}, 10, 1); err == nil {
+		t.Error("non-cumulative coverage should error")
+	}
+	if _, err := GoodnessOfFit(m, []float64{0.1, 0.2}, []int{5, 3}, 10, 1); err == nil {
+		t.Error("non-cumulative counts should error")
+	}
+	if _, err := GoodnessOfFit(m, []float64{0.1, 0.2}, []int{3, 5}, 0, 1); err == nil {
+		t.Error("zero chips should error")
+	}
+}
+
+func TestMergeBins(t *testing.T) {
+	obs := []float64{1, 2, 3, 50}
+	exp := []float64{1, 2, 3, 50}
+	o, e := mergeBins(obs, exp, 5)
+	if len(o) != len(e) {
+		t.Fatal("length mismatch")
+	}
+	for _, v := range e {
+		if v < 5 {
+			t.Errorf("bin expectation %v below minimum", v)
+		}
+	}
+	// Mass preserved.
+	var so, se float64
+	for i := range o {
+		so += o[i]
+		se += e[i]
+	}
+	if so != 56 || se != 56 {
+		t.Errorf("mass changed: %v %v", so, se)
+	}
+	// Trailing low bin merges leftward.
+	o2, e2 := mergeBins([]float64{50, 1}, []float64{50, 1}, 5)
+	if len(e2) != 1 || e2[0] != 51 || o2[0] != 51 {
+		t.Errorf("trailing merge wrong: %v %v", o2, e2)
+	}
+}

@@ -1,0 +1,30 @@
+package estimate
+
+// PaperTable1 is Table 1 of the paper verbatim: the chip-test result
+// for the ~25,000-transistor LSI circuit, 277 chips, yield ≈ 0.07.
+// Each row gives the fault coverage reached by the pattern prefix and
+// the cumulative number (and fraction) of chips that had failed by
+// then. The fractions are the paper's rounded values; the counts are
+// exact.
+var PaperTable1 = struct {
+	TotalChips int
+	Yield      float64
+	Curve      Curve
+	Counts     []int
+}{
+	TotalChips: 277,
+	Yield:      0.07,
+	Curve: Curve{
+		{F: 0.05, Fail: 0.41},
+		{F: 0.08, Fail: 0.48},
+		{F: 0.10, Fail: 0.52},
+		{F: 0.15, Fail: 0.67},
+		{F: 0.20, Fail: 0.75},
+		{F: 0.30, Fail: 0.82},
+		{F: 0.36, Fail: 0.87},
+		{F: 0.45, Fail: 0.91},
+		{F: 0.50, Fail: 0.92},
+		{F: 0.65, Fail: 0.93},
+	},
+	Counts: []int{113, 134, 144, 186, 209, 226, 242, 251, 256, 257},
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestCollapseStudy(t *testing.T) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CollapseStudy(c, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	full, eq, dom := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !(full.Faults > eq.Faults && eq.Faults > dom.Faults) {
+		t.Errorf("fault counts not shrinking: %d %d %d", full.Faults, eq.Faults, dom.Faults)
+	}
+	// The coverage *fraction* stays close across views: equivalence
+	// classes are detected together, and a near-complete random set
+	// leaves the ratios within a few points.
+	if math.Abs(full.Coverage-eq.Coverage) > 0.05 {
+		t.Errorf("full %v vs equivalence %v coverage drifted", full.Coverage, eq.Coverage)
+	}
+	if math.Abs(eq.Coverage-dom.Coverage) > 0.05 {
+		t.Errorf("equivalence %v vs dominance %v coverage drifted", eq.Coverage, dom.Coverage)
+	}
+	if !strings.Contains(res.Render(), "ablation") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCollapseStudyInvalidCircuit(t *testing.T) {
+	bad := netlist.New("empty")
+	if _, err := CollapseStudy(bad, 16, 1); err == nil {
+		t.Error("invalid circuit should error")
+	}
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstimatorBias(t *testing.T) {
+	points := []struct{ Y, N0 float64 }{
+		{0.07, 8.8},
+		{0.3, 8.8},
+		{0.7, 8.8},
+	}
+	res, err := EstimatorBias(points, 277, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Curve fit: small bias (within half a fault of truth).
+		if math.Abs(row.FitMean-row.TrueN0) > 0.6 {
+			t.Errorf("y=%v: fit mean %v vs truth %v", row.Yield, row.FitMean, row.TrueN0)
+		}
+		// Slope method: biased LOW (concave-curve secant), never high.
+		if row.SlopeMean > row.TrueN0 {
+			t.Errorf("y=%v: slope mean %v should underestimate %v", row.Yield, row.SlopeMean, row.TrueN0)
+		}
+		// Curve fit dominates slope on RMSE.
+		if row.FitRMSE > row.SlopeRMSE {
+			t.Errorf("y=%v: fit RMSE %v worse than slope %v", row.Yield, row.FitRMSE, row.SlopeRMSE)
+		}
+	}
+	// Higher yield = fewer defective chips per lot = noisier estimate.
+	if res.Rows[2].FitRMSE < res.Rows[0].FitRMSE {
+		t.Errorf("high-yield RMSE %v should exceed low-yield %v",
+			res.Rows[2].FitRMSE, res.Rows[0].FitRMSE)
+	}
+	if !strings.Contains(res.Render(), "ablation") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestEstimatorBiasValidation(t *testing.T) {
+	pts := []struct{ Y, N0 float64 }{{0.5, 5}}
+	if _, err := EstimatorBias(pts, 5, 10, 1); err == nil {
+		t.Error("tiny lots should error")
+	}
+	if _, err := EstimatorBias(pts, 100, 1, 1); err == nil {
+		t.Error("single lot should error")
+	}
+	bad := []struct{ Y, N0 float64 }{{1.5, 5}}
+	if _, err := EstimatorBias(bad, 100, 5, 1); err == nil {
+		t.Error("invalid yield should error")
+	}
+}

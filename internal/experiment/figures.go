@@ -1,0 +1,275 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: Fig. 1 (reject rate vs coverage), Figs. 2-4 (required
+// coverage vs yield), Fig. 5 + Table 1 (n0 determination from lot
+// test data), Fig. 6 (escape-probability approximations), the §7
+// Wadsack comparison, and the §8 fine-line shrink study. Each driver
+// returns structured series plus a rendered text artifact.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/tablefmt"
+	"repro/internal/textplot"
+)
+
+// Curve is a named (x, y) series.
+type Curve struct {
+	Name string
+	X, Y []float64
+}
+
+// Fig1Result holds the reject-rate curves of Fig. 1.
+type Fig1Result struct {
+	Curves []Curve
+	// SpotChecks quotes the paper's reading of the figure: required
+	// coverage at r = 0.005 for each (y, n0).
+	SpotChecks []Fig1Spot
+}
+
+// Fig1Spot is one quoted operating point.
+type Fig1Spot struct {
+	Y, N0, TargetR, RequiredF float64
+}
+
+// Fig1 computes r(f) for the paper's four (yield, n0) combinations:
+// y ∈ {0.80, 0.20} × n0 ∈ {2, 10}, f ∈ [0, 1].
+func Fig1() (Fig1Result, error) {
+	combos := []struct{ y, n0 float64 }{
+		{0.80, 2}, {0.80, 10}, {0.20, 2}, {0.20, 10},
+	}
+	var res Fig1Result
+	fs := numeric.Linspace(0, 1, 201)
+	for _, c := range combos {
+		m, err := core.New(c.y, c.n0)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		ys := make([]float64, len(fs))
+		for i, f := range fs {
+			ys[i] = m.RejectRate(f)
+		}
+		res.Curves = append(res.Curves, Curve{
+			Name: fmt.Sprintf("y=%.2f n0=%g", c.y, c.n0),
+			X:    fs, Y: ys,
+		})
+		reqF, err := m.RequiredCoverage(0.005)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		res.SpotChecks = append(res.SpotChecks, Fig1Spot{Y: c.y, N0: c.n0, TargetR: 0.005, RequiredF: reqF})
+	}
+	return res, nil
+}
+
+// Render draws Fig. 1 with a log reject-rate axis, as in the paper.
+func (r Fig1Result) Render() string {
+	p := textplot.Plot{
+		Title:  "Fig. 1 — Field reject rate vs fault coverage (log scale)",
+		XLabel: "fault coverage f",
+		YLabel: "field reject rate r(f)",
+		LogY:   true,
+	}
+	for _, c := range r.Curves {
+		// Clip to the paper's visible range r >= 0.001.
+		var xs, ys []float64
+		for i := range c.X {
+			if c.Y[i] >= 0.001 {
+				xs = append(xs, c.X[i])
+				ys = append(ys, c.Y[i])
+			}
+		}
+		p.Add(textplot.Series{Name: c.Name, X: xs, Y: ys})
+	}
+	var sb strings.Builder
+	sb.WriteString(p.Render())
+	tb := tablefmt.New("yield", "n0", "target r", "required f", "paper reads")
+	paper := map[string]float64{"0.80/2": 0.95, "0.80/10": 0.38, "0.20/2": 0.99, "0.20/10": 0.63}
+	for _, s := range r.SpotChecks {
+		key := fmt.Sprintf("%.2f/%g", s.Y, s.N0)
+		tb.AddRow(s.Y, s.N0, s.TargetR, s.RequiredF, paper[key])
+	}
+	sb.WriteString("\n")
+	sb.WriteString(tb.String())
+	return sb.String()
+}
+
+// ReqCovResult holds one of Figs. 2-4: required coverage vs yield for a
+// family of n0 values at a fixed field reject rate.
+type ReqCovResult struct {
+	RejectRate float64
+	Curves     []Curve // one per n0, X = yield, Y = required coverage
+}
+
+// RequiredCoverageFigure computes the Fig. 2/3/4 family: for the given
+// target reject rate, the required coverage at each yield for
+// n0 = 1..12, using Eq. 11 (the closed-form inverse): for each (n0, f)
+// the yield where r is met exactly, swept densely over f and then
+// re-gridded over yield.
+func RequiredCoverageFigure(r float64) (ReqCovResult, error) {
+	if !(r > 0 && r < 1) {
+		return ReqCovResult{}, fmt.Errorf("experiment: reject rate must be in (0,1), got %v", r)
+	}
+	res := ReqCovResult{RejectRate: r}
+	yields := numeric.Linspace(0.02, 0.98, 97)
+	for n0 := 1; n0 <= 12; n0++ {
+		m, err := core.New(0.5, float64(n0)) // Y placeholder; solver uses target y
+		if err != nil {
+			return ReqCovResult{}, err
+		}
+		ys := make([]float64, len(yields))
+		for i, y := range yields {
+			my, err := core.New(y, float64(n0))
+			if err != nil {
+				return ReqCovResult{}, err
+			}
+			f, err := my.RequiredCoverage(r)
+			if err != nil {
+				return ReqCovResult{}, err
+			}
+			ys[i] = f
+		}
+		_ = m
+		res.Curves = append(res.Curves, Curve{Name: fmt.Sprintf("n0=%d", n0), X: yields, Y: ys})
+	}
+	return res, nil
+}
+
+// Render draws the figure.
+func (r ReqCovResult) Render() string {
+	p := textplot.Plot{
+		Title:  fmt.Sprintf("Figs. 2-4 — Required fault coverage vs yield, r = %g", r.RejectRate),
+		XLabel: "yield y",
+		YLabel: "required fault coverage f",
+	}
+	for i, c := range r.Curves {
+		if i%3 == 0 || i == len(r.Curves)-1 { // declutter: n0 = 1,4,7,10,12
+			p.Add(textplot.Series{Name: c.Name, X: c.X, Y: c.Y})
+		}
+	}
+	return p.Render()
+}
+
+// Fig6Result compares the three q0(n) approximations (Appendix,
+// Fig. 6): exact (A.1), corrected (A.2), simple (A.3), for N = 1000.
+type Fig6Result struct {
+	N      int
+	FaultN []int   // the n values plotted
+	Curves []Curve // named "<n>/<approx>", X = f, Y = q0
+}
+
+// Fig6 evaluates q0(n) over f for n ∈ {2, 4, 8, 16, 32}, N = 1000.
+func Fig6() Fig6Result {
+	res := Fig6Result{N: 1000, FaultN: []int{2, 4, 8, 16, 32}}
+	fs := numeric.Linspace(0, 0.99, 100)
+	for _, n := range res.FaultN {
+		for _, ap := range []core.EscapeApprox{core.EscapeExact, core.EscapeCorrected, core.EscapeSimple} {
+			ys := make([]float64, len(fs))
+			for i, f := range fs {
+				m := int(f * float64(res.N))
+				ys[i] = core.Q0(n, m, res.N, ap)
+			}
+			res.Curves = append(res.Curves, Curve{
+				Name: fmt.Sprintf("n=%d %s", n, ap),
+				X:    fs, Y: ys,
+			})
+		}
+	}
+	return res
+}
+
+// Render draws Fig. 6 (log q0 axis) for the exact curves plus a
+// deviation table at f = 0.5.
+func (r Fig6Result) Render() string {
+	p := textplot.Plot{
+		Title:  fmt.Sprintf("Fig. 6 — q0(n) vs f, N = %d (exact A.1 curves)", r.N),
+		XLabel: "f = m/N",
+		YLabel: "q0(n)",
+		LogY:   true,
+	}
+	for _, c := range r.Curves {
+		if strings.Contains(c.Name, "exact") {
+			var xs, ys []float64
+			for i := range c.X {
+				if c.Y[i] >= 1e-6 {
+					xs = append(xs, c.X[i])
+					ys = append(ys, c.Y[i])
+				}
+			}
+			p.Add(textplot.Series{Name: c.Name, X: xs, Y: ys})
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(p.Render())
+	tb := tablefmt.New("n", "exact A.1 @f=0.5", "corrected A.2", "simple A.3")
+	for _, n := range r.FaultN {
+		m := r.N / 2
+		tb.AddRow(n,
+			core.Q0(n, m, r.N, core.EscapeExact),
+			core.Q0(n, m, r.N, core.EscapeCorrected),
+			core.Q0(n, m, r.N, core.EscapeSimple))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(tb.String())
+	return sb.String()
+}
+
+// WadsackResult is the §7 model comparison.
+type WadsackResult struct {
+	Yield float64
+	N0    float64
+	Rows  []WadsackRow
+}
+
+// WadsackRow compares required coverage at one target reject rate.
+type WadsackRow struct {
+	TargetR    float64
+	PaperModel float64
+	Wadsack    float64
+	Griffin    float64
+	Savings    float64
+}
+
+// WadsackComparison reproduces the §7 numbers: required coverage under
+// this paper's model vs the Wadsack baseline (and the Griffin mixed-
+// Poisson comparator) for the example chip (y = 0.07, n0 = 8).
+func WadsackComparison(y, n0 float64, targets []float64) (WadsackResult, error) {
+	m, err := core.New(y, n0)
+	if err != nil {
+		return WadsackResult{}, err
+	}
+	g, err := core.NewGriffinMixed(y, n0)
+	if err != nil {
+		return WadsackResult{}, err
+	}
+	res := WadsackResult{Yield: y, N0: n0}
+	for _, r := range targets {
+		paper, wadsack, savings, err := core.CoverageSavings(m, r)
+		if err != nil {
+			return WadsackResult{}, err
+		}
+		fg, err := g.RequiredCoverage(r)
+		if err != nil {
+			return WadsackResult{}, err
+		}
+		res.Rows = append(res.Rows, WadsackRow{
+			TargetR: r, PaperModel: paper, Wadsack: wadsack, Griffin: fg, Savings: savings,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the comparison table.
+func (r WadsackResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§7 comparison — yield %.2f, n0 %g\n", r.Yield, r.N0)
+	tb := tablefmt.New("target r", "this model f", "Wadsack f", "Griffin f", "savings")
+	for _, row := range r.Rows {
+		tb.AddRow(row.TargetR, row.PaperModel, row.Wadsack, row.Griffin, row.Savings)
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tablefmt"
+	"repro/internal/yield"
+)
+
+// mathLog isolates the single math dependency of table1.go.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// ShrinkRow is one point of the §8 fine-line study.
+type ShrinkRow struct {
+	Scale     float64 // linear feature scale (1 = original, 0.7 = 30% shrink)
+	Area      float64 // relative area = Scale²
+	Yield     float64 // predicted by Eq. 3
+	N0        float64 // faults per defective chip after density increase
+	RequiredF float64 // coverage needed for the target reject rate
+}
+
+// ShrinkResult is the §8 prediction: what finer design rules do to the
+// testing problem.
+type ShrinkResult struct {
+	TargetR float64
+	Rows    []ShrinkRow
+}
+
+// ShrinkStudy models §8: a fixed circuit re-implemented at linear scale
+// s occupies area s² (relative), so the defect count per chip drops to
+// s²·D0A and yield rises per Eq. 3. At the same time a physical defect
+// of fixed size hits more logic when features shrink, so faults per
+// defect — and hence n0 — grow as 1/s² (defect area in circuit units).
+// Both effects lower the required coverage, the paper's §8 conclusion.
+//
+// baseD0A is the defect count per chip at scale 1; lambda is Eq. 3's
+// clustering parameter; baseN0 the starting n0; targetR the quality
+// goal.
+func ShrinkStudy(baseD0A, lambda, baseN0, targetR float64, scales []float64) (ShrinkResult, error) {
+	nb, err := yield.NewNegBinomial(lambda)
+	if err != nil {
+		return ShrinkResult{}, err
+	}
+	if !(baseD0A > 0) || !(baseN0 >= 1) {
+		return ShrinkResult{}, fmt.Errorf("experiment: baseD0A must be > 0 and baseN0 >= 1")
+	}
+	res := ShrinkResult{TargetR: targetR}
+	for _, s := range scales {
+		if !(s > 0 && s <= 1) {
+			return ShrinkResult{}, fmt.Errorf("experiment: scale %v outside (0,1]", s)
+		}
+		area := s * s
+		y := nb.Yield(yield.ScaleArea(baseD0A, area))
+		n0 := baseN0 / area
+		if y >= 1 {
+			y = 1 - 1e-9
+		}
+		m, err := core.New(y, n0)
+		if err != nil {
+			return ShrinkResult{}, err
+		}
+		f, err := m.RequiredCoverage(targetR)
+		if err != nil {
+			return ShrinkResult{}, err
+		}
+		res.Rows = append(res.Rows, ShrinkRow{Scale: s, Area: area, Yield: y, N0: n0, RequiredF: f})
+	}
+	return res, nil
+}
+
+// Render prints the shrink table.
+func (r ShrinkResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§8 fine-line shrink study — target reject rate %g\n", r.TargetR)
+	tb := tablefmt.New("scale", "rel. area", "yield (Eq.3)", "n0", "required f")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Scale, row.Area, row.Yield, row.N0, row.RequiredF)
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

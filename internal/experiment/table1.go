@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/defect"
+	"repro/internal/estimate"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/tablefmt"
+	"repro/internal/tester"
+	"repro/internal/textplot"
+)
+
+// Table1Config parameterizes the end-to-end lot experiment.
+type Table1Config struct {
+	// Circuit under test; nil selects an 8-bit array multiplier
+	// (a few thousand gates — the scaled-down stand-in for the paper's
+	// 25k-transistor chip).
+	Circuit *netlist.Circuit
+	// Chips in the lot (paper: 277).
+	Chips int
+	// Yield is the ground-truth probability of a fault-free chip
+	// (paper: 0.07).
+	Yield float64
+	// N0 is the ground-truth mean faults per defective chip
+	// (paper's slope estimate: 8.8).
+	N0 float64
+	// RandomPatterns seeds the ordered test set before PODEM cleanup.
+	RandomPatterns int
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+	// Physical, if true, generates the lot through the physical-defect
+	// layer (Poisson defects × shifted-Poisson faults-per-defect tuned
+	// to match Yield and N0) instead of directly from the statistical
+	// model.
+	Physical bool
+}
+
+// DefaultTable1Config returns the paper-matched configuration.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Chips:          277,
+		Yield:          0.07,
+		N0:             8.8,
+		RandomPatterns: 192,
+		Seed:           1981, // year of the paper; any seed works
+	}
+}
+
+// Table1Result is the synthetic rerun of the paper's experiment plus
+// the estimation pipeline applied to both the synthetic lot and the
+// paper's published data.
+type Table1Result struct {
+	Config       Table1Config
+	CircuitStats netlist.Stats
+	FaultCount   int
+	FinalCov     float64 // final fault coverage of the pattern set
+	Rows         []tester.FalloutRow
+	Curve        estimate.Curve
+	// Ground truth and recovered estimates for the synthetic lot.
+	TrueN0      float64
+	FitN0       float64
+	SlopeN0     float64
+	LotYield    float64
+	TestedYield float64
+	Escapes     int
+	// The paper's own data re-analyzed with our estimators.
+	PaperFitN0   float64
+	PaperSlopeN0 float64
+}
+
+// RunTable1 executes the full §5/§7 experiment on a synthetic lot:
+// generate a circuit, collapse its faults, build an ordered pattern
+// set, fault-simulate the coverage ramp, manufacture a lot with known
+// (yield, n0), first-fail test every chip, reduce to the Table 1
+// fallout format, and estimate n0 back by both methods.
+func RunTable1(cfg Table1Config) (Table1Result, error) {
+	if cfg.Chips <= 0 {
+		return Table1Result{}, fmt.Errorf("experiment: lot size must be positive")
+	}
+	c := cfg.Circuit
+	if c == nil {
+		var err error
+		c, err = netlist.ArrayMultiplier(8)
+		if err != nil {
+			return Table1Result{}, err
+		}
+	}
+	stats, err := c.ComputeStats()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	// Ordered pattern set in production order: bring-up patterns and
+	// rising-weight random first (gentle early ramp, like the
+	// initialization sequence before the paper's first strobe), uniform
+	// random, then deterministic cleanup.
+	patterns, err := atpg.ProductionTests(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	// Coverage ramp at strobe granularity (pattern × output), the
+	// bookkeeping the Sentry used for Table 1.
+	curve, simRes, err := faultsim.StepCoverageCurve(c, universe, patterns)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	// Manufacture the lot.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var lot defect.Lot
+	if cfg.Physical {
+		model, err := physicalFor(cfg.Yield, cfg.N0)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		lot, err = defect.GenerateLot(model, universe, cfg.Chips, rng)
+		if err != nil {
+			return Table1Result{}, err
+		}
+	} else {
+		lot, err = defect.GenerateLotFromModel(cfg.Yield, cfg.N0, universe, cfg.Chips, rng)
+		if err != nil {
+			return Table1Result{}, err
+		}
+	}
+	// Test it.
+	ate, err := tester.New(c, patterns)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	lotRes, err := ate.TestLotSteps(lot)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	// Reduce to Table 1 format at ten checkpoints spread over the ramp.
+	checkpoints := rampCheckpoints(curve, 10)
+	rows, err := tester.FalloutTable(lotRes, curve, checkpoints)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	// Build the estimation curve and recover n0.
+	estCurve := make(estimate.Curve, len(rows))
+	for i, r := range rows {
+		estCurve[i] = estimate.FalloutPoint{F: r.Coverage, Fail: r.CumFracton}
+	}
+	fitRes, err := estimate.FitN0(estCurve, cfg.Yield)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	slopeRes, err := estimate.SlopeN0(estCurve, cfg.Yield, estCurve[0].F*1.5+1e-9)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	// Re-analyze the paper's published table with the same estimators.
+	paperFit, err := estimate.FitN0(estimate.PaperTable1.Curve, estimate.PaperTable1.Yield)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	paperSlope, err := estimate.SlopeN0(estimate.PaperTable1.Curve[:1], estimate.PaperTable1.Yield, 0.06)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return Table1Result{
+		Config:       cfg,
+		CircuitStats: stats,
+		FaultCount:   len(universe),
+		FinalCov:     simRes.Coverage(),
+		Rows:         rows,
+		Curve:        estCurve,
+		TrueN0:       lot.MeanFaultsOnDefective(),
+		FitN0:        fitRes.N0,
+		SlopeN0:      slopeRes.N0,
+		LotYield:     lot.Yield,
+		TestedYield:  lotRes.TestedYield,
+		Escapes:      lotRes.Escapes,
+		PaperFitN0:   paperFit.N0,
+		PaperSlopeN0: paperSlope.N0,
+	}, nil
+}
+
+// physicalFor tunes the physical defect model so the implied yield and
+// n0 match the requested ground truth: Poisson defects with
+// D0A = -ln(y), faults-per-defect solved so ExpectedN0 = n0.
+func physicalFor(y, n0 float64) (defect.Model, error) {
+	if !(y > 0 && y < 1) {
+		return defect.Model{}, fmt.Errorf("experiment: yield must be in (0,1)")
+	}
+	d0a := -ln(y)
+	// ExpectedN0 = fpd * d0a / (1 - y)  =>  fpd = n0 (1-y) / d0a.
+	fpd := n0 * (1 - y) / d0a
+	if fpd < 1 {
+		fpd = 1
+	}
+	return defect.Model{D0A: d0a, FaultsPerDefect: fpd, Locality: 0.6}, nil
+}
+
+// ln is a tiny alias to keep physicalFor readable.
+func ln(x float64) float64 { return mathLog(x) }
+
+// rampCheckpoints picks pattern/step indices near the paper's Table 1
+// coverage rows (5, 8, 10, 15, 20, 30, 36, 45, 50, 65 percent), plus
+// the final step; targets the ramp never reaches are skipped. k caps
+// the row count.
+func rampCheckpoints(curve []faultsim.CoveragePoint, k int) []int {
+	if len(curve) == 0 {
+		return nil
+	}
+	targets := []float64{0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.36, 0.45, 0.50, 0.65}
+	var out []int
+	ti := 0
+	for i, pt := range curve {
+		for ti < len(targets) && pt.Coverage >= targets[ti] {
+			out = append(out, i)
+			ti++
+			if len(out) >= k {
+				break
+			}
+		}
+		if len(out) >= k || ti >= len(targets) {
+			break
+		}
+	}
+	// Deduplicate (one step can cross several targets) and append the
+	// final step.
+	dedup := out[:0]
+	prev := -1
+	for _, i := range out {
+		if i != prev {
+			dedup = append(dedup, i)
+			prev = i
+		}
+	}
+	out = dedup
+	if len(out) == 0 || out[len(out)-1] != len(curve)-1 {
+		out = append(out, len(curve)-1)
+	}
+	return out
+}
+
+// Render prints the synthetic Table 1 alongside the recovered
+// parameters and the paper's own numbers, plus the Fig. 5 overlay.
+func (r Table1Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1 (synthetic rerun) — circuit %s\n", r.CircuitStats)
+	fmt.Fprintf(&sb, "collapsed faults: %d, pattern-set coverage: %.3f\n", r.FaultCount, r.FinalCov)
+	fmt.Fprintf(&sb, "lot: %d chips, true yield %.3f (target %.2f), tested yield %.3f, escapes %d\n\n",
+		r.Config.Chips, r.LotYield, r.Config.Yield, r.TestedYield, r.Escapes)
+	tb := tablefmt.New("coverage (%)", "cum chips failed", "cum fraction")
+	for _, row := range r.Rows {
+		tb.AddRow(fmt.Sprintf("%.1f", row.Coverage*100), row.CumFailed, fmt.Sprintf("%.2f", row.CumFracton))
+	}
+	sb.WriteString(tb.String())
+	fmt.Fprintf(&sb, "\nn0 ground truth (lot mean): %.2f\n", r.TrueN0)
+	fmt.Fprintf(&sb, "n0 curve fit:  %.2f   n0 slope: %.2f\n", r.FitN0, r.SlopeN0)
+	fmt.Fprintf(&sb, "paper's data re-analyzed: curve fit %.2f (paper: ~8), slope %.2f (paper: 8.8)\n",
+		r.PaperFitN0, r.PaperSlopeN0)
+	sb.WriteString("\n")
+	sb.WriteString(r.RenderFig5())
+	return sb.String()
+}
+
+// RenderFig5 draws the Fig. 5 overlay: the P(f) family for n0 = 1..12
+// with the experimental fallout points.
+func (r Table1Result) RenderFig5() string {
+	p := textplot.Plot{
+		Title:  "Fig. 5 — n0 determination: P(f) family (n0 = 2,4,8,12) + lot data (@)",
+		XLabel: "fault coverage f",
+		YLabel: "fraction of chips failed P(f)",
+	}
+	fs := make([]float64, 101)
+	for i := range fs {
+		fs[i] = float64(i) / 100
+	}
+	for _, n0 := range []float64{2, 4, 8, 12} {
+		m, err := core.New(r.Config.Yield, n0)
+		if err != nil {
+			continue
+		}
+		ys := make([]float64, len(fs))
+		for i, f := range fs {
+			ys[i] = m.Fallout(f)
+		}
+		p.Add(textplot.Series{Name: fmt.Sprintf("n0=%g", n0), X: fs, Y: ys})
+	}
+	p.Add(textplot.Series{
+		Name: "lot", Marker: '@',
+		X: r.Curve.Coverages(), Y: r.Curve.Fractions(),
+	})
+	return p.Render()
+}

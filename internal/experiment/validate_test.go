@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestValidateRejectRateEndToEnd(t *testing.T) {
+	// The decisive check: Eq. 8's closed form against the simulated
+	// production line. 20k chips resolve reject rates of a few percent
+	// with small relative error at moderate coverage.
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateRejectRate(c, 0.3, 6, 20000, []float64{0.5, 0.7, 0.85}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("only %d truncation points", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The model assumes faults are detected like random draws
+		// (Eq. 4); the real circuit's detection correlations perturb
+		// this, so demand agreement within a factor, not exactness:
+		// measured within [0.3x, 3x] of predicted, and both small.
+		if row.PredictedR <= 0 {
+			t.Fatalf("degenerate prediction at coverage %v", row.Coverage)
+		}
+		ratio := row.MeasuredR / row.PredictedR
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("coverage %.3f: measured %v vs predicted %v (ratio %v)",
+				row.Coverage, row.MeasuredR, row.PredictedR, ratio)
+		}
+	}
+	// Reject rate must fall with coverage in both columns.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].PredictedR >= res.Rows[i-1].PredictedR {
+			t.Error("prediction not decreasing")
+		}
+		if res.Rows[i].MeasuredR > res.Rows[i-1].MeasuredR+0.005 {
+			t.Error("measurement not decreasing (beyond noise)")
+		}
+	}
+	if !strings.Contains(res.Render(), "validation") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestValidateRejectRateWadsackComparison(t *testing.T) {
+	// At the same operating point the Wadsack formula r = (1-y)(1-f)
+	// should overpredict the measured reject rate (it ignores that
+	// multi-fault chips are easier to catch).
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateRejectRate(c, 0.3, 6, 20000, []float64{0.7}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	wadsack := (1 - 0.3) * (1 - row.Coverage)
+	if !(row.MeasuredR < wadsack) {
+		t.Errorf("measured %v should undercut Wadsack %v", row.MeasuredR, wadsack)
+	}
+	// And the paper's model should be much closer than Wadsack.
+	if math.Abs(row.MeasuredR-row.PredictedR) > math.Abs(row.MeasuredR-wadsack) {
+		t.Errorf("paper model (%v) further from measurement (%v) than Wadsack (%v)",
+			row.PredictedR, row.MeasuredR, wadsack)
+	}
+}
+
+func TestValidateRejectRateValidation(t *testing.T) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRejectRate(c, 0.3, 6, 10, []float64{0.5}, 1); err == nil {
+		t.Error("tiny lot should error")
+	}
+	if _, err := ValidateRejectRate(c, 0, 6, 1000, []float64{0.5}, 1); err == nil {
+		t.Error("invalid yield should error")
+	}
+	if _, err := ValidateRejectRate(c, 0.3, 6, 1000, []float64{2}, 1); err == nil {
+		t.Error("unreachable truncation should error")
+	}
+}

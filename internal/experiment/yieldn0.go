@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/defect"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/numeric"
+	"repro/internal/tablefmt"
+)
+
+// The paper's concluding remarks call for exactly this experiment:
+// "Further work should establish at least an empirical relationship
+// between yield and average number of faults." YieldN0Study runs it on
+// the synthetic line: sweep defect density, manufacture lots through
+// the physical-defect model, and measure the (yield, n0) pairs that
+// emerge; then fit the analytic relation
+//
+//	n0(y) = k · (-ln y) / (1 - y)
+//
+// which follows from Poisson defects (y = e^{-D0A}) with an average of
+// k logical faults per physical defect.
+
+// YieldN0Row is one measured point of the study.
+type YieldN0Row struct {
+	D0A         float64 // defects per chip (ground truth)
+	Yield       float64 // measured lot yield
+	N0          float64 // measured mean faults on defective chips
+	PredictedN0 float64 // analytic n0 from the fitted k at this yield
+}
+
+// YieldN0Result is the full sweep plus the fitted faults-per-defect.
+type YieldN0Result struct {
+	FaultsPerDefect float64 // ground truth k
+	FittedK         float64 // k recovered from the (yield, n0) pairs
+	Rows            []YieldN0Row
+}
+
+// YieldN0Study sweeps the defect density and measures the yield-n0
+// relationship. chipsPerLot controls sampling noise; fpd is the
+// ground-truth mean logical faults per physical defect.
+func YieldN0Study(c *netlist.Circuit, d0as []float64, fpd float64, chipsPerLot int, seed int64) (YieldN0Result, error) {
+	if len(d0as) < 2 {
+		return YieldN0Result{}, fmt.Errorf("experiment: need >= 2 defect densities")
+	}
+	if chipsPerLot < 10 {
+		return YieldN0Result{}, fmt.Errorf("experiment: need >= 10 chips per lot")
+	}
+	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	rng := rand.New(rand.NewSource(seed))
+	res := YieldN0Result{FaultsPerDefect: fpd}
+	for _, d0a := range d0as {
+		m := defect.Model{D0A: d0a, FaultsPerDefect: fpd, Locality: 0.5}
+		lot, err := defect.GenerateLot(m, universe, chipsPerLot, rng)
+		if err != nil {
+			return YieldN0Result{}, err
+		}
+		if lot.Yield >= 1 || lot.Yield <= 0 {
+			continue // degenerate lot: all good or all bad, no (y, n0) point
+		}
+		res.Rows = append(res.Rows, YieldN0Row{
+			D0A:   d0a,
+			Yield: lot.Yield,
+			N0:    lot.MeanFaultsOnDefective(),
+		})
+	}
+	if len(res.Rows) < 2 {
+		return YieldN0Result{}, fmt.Errorf("experiment: too few non-degenerate lots")
+	}
+	// Fit k by least squares on n0 = k * (-ln y)/(1-y).
+	sse := func(k float64) float64 {
+		var s numeric.KahanSum
+		for _, row := range res.Rows {
+			pred := k * -math.Log(row.Yield) / (1 - row.Yield)
+			d := row.N0 - pred
+			s.Add(d * d)
+		}
+		return s.Sum()
+	}
+	coarse := numeric.GridMinimize(sse, 0.5, 20, 300)
+	res.FittedK = numeric.GoldenMinimize(sse, math.Max(0.5, coarse-1), coarse+1, 1e-8)
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		row.PredictedN0 = res.FittedK * -math.Log(row.Yield) / (1 - row.Yield)
+	}
+	return res, nil
+}
+
+// Render prints the study.
+func (r YieldN0Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Yield vs n0 (the paper's proposed future work)\n")
+	fmt.Fprintf(&sb, "ground-truth faults/defect k = %.2f, fitted k = %.2f\n", r.FaultsPerDefect, r.FittedK)
+	tb := tablefmt.New("D0·A", "yield", "measured n0", "k·(-ln y)/(1-y)")
+	for _, row := range r.Rows {
+		tb.AddRow(row.D0A, row.Yield, row.N0, row.PredictedN0)
+	}
+	sb.WriteString(tb.String())
+	sb.WriteString("\nlower yield (bigger/denser chips) carries more faults per defective\n")
+	sb.WriteString("die, which is why LSI needs less coverage than the single-fault model says.\n")
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestYieldN0StudyRecoversK(t *testing.T) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0as := []float64{0.3, 0.6, 1.0, 1.5, 2.2, 3.0}
+	res, err := YieldN0Study(c, d0as, 3.0, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FittedK-3.0) > 0.3 {
+		t.Errorf("fitted k = %v, truth 3.0", res.FittedK)
+	}
+	// n0 rises as yield falls (the paper's intuition: a larger/denser
+	// chip has both lower yield and more faults when defective).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Yield >= res.Rows[i-1].Yield {
+			t.Errorf("yield should fall along the density sweep")
+		}
+		if res.Rows[i].N0 <= res.Rows[i-1].N0-0.5 {
+			t.Errorf("n0 should rise (noise allowance) along the sweep: %v after %v",
+				res.Rows[i].N0, res.Rows[i-1].N0)
+		}
+	}
+	// Predictions track measurements.
+	for _, row := range res.Rows {
+		if math.Abs(row.PredictedN0-row.N0) > 0.25*row.N0 {
+			t.Errorf("prediction %v far from measured %v at yield %v",
+				row.PredictedN0, row.N0, row.Yield)
+		}
+	}
+	if !strings.Contains(res.Render(), "fitted k") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestYieldN0StudyValidation(t *testing.T) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := YieldN0Study(c, []float64{1}, 2, 1000, 1); err == nil {
+		t.Error("single density should error")
+	}
+	if _, err := YieldN0Study(c, []float64{1, 2}, 2, 5, 1); err == nil {
+		t.Error("tiny lots should error")
+	}
+}

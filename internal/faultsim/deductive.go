@@ -1,0 +1,236 @@
+package faultsim
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// runDeductive implements deductive fault simulation: for each pattern,
+// one topological pass propagates, per line, the *list* of faults that
+// would flip that line, using set algebra driven by the good values.
+// The union of the primary-output lists is the set of faults the
+// pattern detects.
+func runDeductive(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) (Result, error) {
+	order, err := c.Order()
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return Result{}, err
+	}
+	// Index faults by site for activation checks.
+	stem := make(map[int][]int)      // gate -> fault indices on its output
+	branch := make(map[[2]int][]int) // (gate,pin) -> fault indices
+	for i, f := range faults {
+		if f.Pin < 0 {
+			stem[f.Gate] = append(stem[f.Gate], i)
+		} else {
+			branch[[2]int{f.Gate, f.Pin}] = append(branch[[2]int{f.Gate, f.Pin}], i)
+		}
+	}
+	first := make([]int, len(faults))
+	for i := range first {
+		first[i] = NotDetected
+	}
+	lists := make([][]int, len(c.Gates))
+	var scratch []int
+	for pi, p := range patterns {
+		if _, err := sim.RunSingle(p); err != nil {
+			return Result{}, err
+		}
+		val := func(id int) bool { return sim.Value(id)&1 == 1 }
+		for _, id := range order {
+			g := &c.Gates[id]
+			var out []int
+			if g.Type == netlist.Input {
+				out = nil
+			} else {
+				// Gather per-pin lists: driver list plus active branch
+				// faults on that pin.
+				pinLists := make([][]int, len(g.Fanin))
+				for pin, drv := range g.Fanin {
+					l := lists[drv]
+					extra := activeFaults(branch[[2]int{id, pin}], faults, val(drv))
+					if len(extra) > 0 {
+						l = unionSets(l, extra)
+					}
+					pinLists[pin] = l
+				}
+				out = propagateLists(g.Type, g.Fanin, pinLists, val)
+			}
+			// Stem faults of this gate: active ones always flip the line.
+			if sf := activeFaults(stem[id], faults, val(id)); len(sf) > 0 {
+				out = unionSets(out, sf)
+			}
+			lists[id] = out
+		}
+		// Detected = union over primary outputs.
+		scratch = scratch[:0]
+		for _, o := range c.Outputs {
+			scratch = append(scratch, lists[o]...)
+		}
+		sort.Ints(scratch)
+		prev := -1
+		for _, fi := range scratch {
+			if fi == prev {
+				continue
+			}
+			prev = fi
+			if first[fi] == NotDetected {
+				first[fi] = pi
+			}
+		}
+	}
+	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+}
+
+// activeFaults returns the fault indices whose stuck value differs from
+// the good value (an inactive stuck fault cannot flip its own line).
+func activeFaults(idxs []int, faults []fault.Fault, goodVal bool) []int {
+	var out []int
+	for _, i := range idxs {
+		if faults[i].Stuck != goodVal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// propagateLists applies the deductive propagation rule of a gate given
+// the per-pin fault lists and the good values of the fanin lines.
+func propagateLists(t netlist.GateType, fanin []int, pinLists [][]int, val func(int) bool) []int {
+	switch t {
+	case netlist.Buf, netlist.Not:
+		return append([]int(nil), pinLists[0]...)
+	case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+		ctrl := t == netlist.Or || t == netlist.Nor // controlling value: 1 for OR/NOR, 0 for AND/NAND
+		var ctrlLists, nonCtrlLists [][]int
+		for pin := range fanin {
+			if val(fanin[pin]) == ctrl {
+				ctrlLists = append(ctrlLists, pinLists[pin])
+			} else {
+				nonCtrlLists = append(nonCtrlLists, pinLists[pin])
+			}
+		}
+		if len(ctrlLists) == 0 {
+			// No controlling input: any single flip flips the output.
+			return unionAll(nonCtrlLists)
+		}
+		// Output flips iff every controlling input flips and no
+		// non-controlling input flips.
+		res := intersectAll(ctrlLists)
+		if len(res) > 0 && len(nonCtrlLists) > 0 {
+			res = diffSets(res, unionAll(nonCtrlLists))
+		}
+		return res
+	case netlist.Xor, netlist.Xnor:
+		// Output flips iff an odd number of inputs flip.
+		return oddParity(pinLists)
+	default:
+		panic("faultsim: cannot propagate through gate type " + t.String())
+	}
+}
+
+// unionSets merges two sorted unique int slices.
+func unionSets(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// unionAll folds unionSets over the lists.
+func unionAll(lists [][]int) []int {
+	var out []int
+	for _, l := range lists {
+		out = unionSets(out, l)
+	}
+	return out
+}
+
+// intersectAll intersects the sorted lists.
+func intersectAll(lists [][]int) []int {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := append([]int(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		out = intersectSets(out, l)
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// intersectSets intersects two sorted unique slices.
+func intersectSets(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// diffSets returns a \ b for sorted unique slices.
+func diffSets(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			out = append(out, a[i])
+		}
+		i++
+	}
+	return out
+}
+
+// oddParity returns the faults appearing in an odd number of lists.
+func oddParity(lists [][]int) []int {
+	count := make(map[int]int)
+	for _, l := range lists {
+		for _, f := range l {
+			count[f]++
+		}
+	}
+	var out []int
+	for f, c := range count {
+		if c%2 == 1 {
+			out = append(out, f)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

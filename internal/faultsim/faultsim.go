@@ -1,0 +1,149 @@
+// Package faultsim measures which single-stuck-at faults a test-pattern
+// sequence detects. Three engines are provided:
+//
+//   - Serial: one fault at a time, 64 patterns per pass (the classic
+//     baseline, also the reference the others are checked against);
+//   - PPSFP: parallel-pattern single-fault propagation with fault
+//     dropping — the workhorse used by the experiments;
+//   - Deductive: per-pattern fault-list propagation (one pass computes
+//     every fault's detectability for that pattern).
+//
+// The paper's experiment needs the cumulative coverage curve of an
+// ordered pattern set — CoverageCurve produces exactly the "fault
+// coverage vs. pattern number" table that §5 feeds to the tester.
+package faultsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// NotDetected marks a fault no pattern detects.
+const NotDetected = -1
+
+// Result reports a fault-simulation run over an ordered pattern set.
+type Result struct {
+	// FirstDetect[i] is the index of the first pattern detecting fault
+	// i of the simulated list, or NotDetected.
+	FirstDetect []int
+	// Patterns is the number of patterns simulated.
+	Patterns int
+}
+
+// DetectedBy returns how many faults the first k+1 patterns detect.
+func (r Result) DetectedBy(k int) int {
+	n := 0
+	for _, d := range r.FirstDetect {
+		if d != NotDetected && d <= k {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the final fault coverage (fraction detected).
+func (r Result) Coverage() float64 {
+	if len(r.FirstDetect) == 0 {
+		return 0
+	}
+	return float64(r.DetectedBy(r.Patterns-1)) / float64(len(r.FirstDetect))
+}
+
+// Engine selects the fault-simulation algorithm.
+type Engine int
+
+// Available engines.
+const (
+	Serial Engine = iota
+	PPSFP
+	Deductive
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Serial:
+		return "serial"
+	case PPSFP:
+		return "ppsfp"
+	case Deductive:
+		return "deductive"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Run fault-simulates the ordered patterns against the fault list and
+// returns per-fault first-detection indices. Detected faults are
+// dropped from further simulation (standard fault dropping); the
+// first-detect indices are unaffected by dropping.
+func Run(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine Engine) (Result, error) {
+	if len(patterns) == 0 {
+		return Result{}, fmt.Errorf("faultsim: no patterns")
+	}
+	switch engine {
+	case Serial:
+		return runParallelPattern(c, faults, patterns, false)
+	case PPSFP:
+		return runParallelPattern(c, faults, patterns, true)
+	case Deductive:
+		return runDeductive(c, faults, patterns)
+	default:
+		return Result{}, fmt.Errorf("faultsim: unknown engine %v", engine)
+	}
+}
+
+// runParallelPattern simulates blocks of 64 patterns. With drop=true,
+// faults already detected are skipped in later blocks (PPSFP); without
+// dropping every fault is simulated against every block (the serial
+// baseline, useful for dictionaries and cross-checking).
+func runParallelPattern(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, drop bool) (Result, error) {
+	sim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return Result{}, err
+	}
+	first := make([]int, len(faults))
+	for i := range first {
+		first[i] = NotDetected
+	}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block, err := logicsim.PackPatterns(patterns[base:end])
+		if err != nil {
+			return Result{}, err
+		}
+		mask := block.Mask()
+		good, err := sim.Run(block)
+		if err != nil {
+			return Result{}, err
+		}
+		goodCopy := append([]uint64(nil), good...)
+		for fi, f := range faults {
+			if drop && first[fi] != NotDetected {
+				continue
+			}
+			bad, err := sim.RunWithFault(block, f.Gate, f.Pin, f.Stuck)
+			if err != nil {
+				return Result{}, err
+			}
+			var diff uint64
+			for o := range bad {
+				diff |= (bad[o] ^ goodCopy[o]) & mask
+			}
+			if diff != 0 {
+				p := base + bits.TrailingZeros64(diff)
+				if first[fi] == NotDetected || p < first[fi] {
+					first[fi] = p
+				}
+			}
+		}
+	}
+	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+}

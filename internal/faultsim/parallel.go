@@ -1,0 +1,112 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// RunConcurrent is PPSFP distributed over a goroutine pool: the fault
+// list is sharded across workers, each with its own simulator (the
+// levelized simulator is not safe for concurrent use). Results are
+// identical to the serial engines; only wall-clock changes. workers <=
+// 0 selects GOMAXPROCS.
+func RunConcurrent(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, workers int) (Result, error) {
+	if len(patterns) == 0 {
+		return Result{}, fmt.Errorf("faultsim: no patterns")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return runParallelPattern(c, faults, patterns, true)
+	}
+	// Pre-pack blocks and good outputs once (read-only afterwards).
+	type packed struct {
+		block logicsim.PatternBlock
+		good  []uint64
+	}
+	setupSim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return Result{}, err
+	}
+	var blocks []packed
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block, err := logicsim.PackPatterns(patterns[base:end])
+		if err != nil {
+			return Result{}, err
+		}
+		good, err := setupSim.Run(block)
+		if err != nil {
+			return Result{}, err
+		}
+		blocks = append(blocks, packed{block: block, good: append([]uint64(nil), good...)})
+	}
+	first := make([]int, len(faults))
+	for i := range first {
+		first[i] = NotDetected
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	chunk := (len(faults) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sim, err := logicsim.NewSimulator(c)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for fi := lo; fi < hi; fi++ {
+				f := faults[fi]
+				for bi := range blocks {
+					if first[fi] != NotDetected {
+						break // fault dropping within the shard
+					}
+					bad, err := sim.RunWithFault(blocks[bi].block, f.Gate, f.Pin, f.Stuck)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					mask := blocks[bi].block.Mask()
+					var diff uint64
+					for o := range bad {
+						diff |= (bad[o] ^ blocks[bi].good[o]) & mask
+					}
+					if diff != 0 {
+						first[fi] = bi*64 + bits.TrailingZeros64(diff)
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+}

@@ -1,0 +1,83 @@
+package faultsim
+
+import (
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// Strobe-granular fault simulation. An ATE applies a pattern and then
+// strobes each output in sequence; a "test step" is one (pattern,
+// output) strobe event. Table 1 of the paper counts failures per
+// strobe ("on the first pattern at which the tester strobed the chip
+// output"), so the lot experiment needs first-detection indices at
+// strobe granularity: step = pattern*numOutputs + outputIndex.
+
+// RunSteps fault-simulates the ordered patterns with per-strobe
+// granularity. The returned Result counts steps, not patterns:
+// Result.Patterns = len(patterns) * len(c.Outputs) and FirstDetect
+// holds step indices.
+func RunSteps(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) (Result, error) {
+	sim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return Result{}, err
+	}
+	nOut := len(c.Outputs)
+	first := make([]int, len(faults))
+	for i := range first {
+		first[i] = NotDetected
+	}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block, err := logicsim.PackPatterns(patterns[base:end])
+		if err != nil {
+			return Result{}, err
+		}
+		mask := block.Mask()
+		good, err := sim.Run(block)
+		if err != nil {
+			return Result{}, err
+		}
+		goodCopy := append([]uint64(nil), good...)
+		for fi, f := range faults {
+			if first[fi] != NotDetected {
+				continue
+			}
+			bad, err := sim.RunWithFault(block, f.Gate, f.Pin, f.Stuck)
+			if err != nil {
+				return Result{}, err
+			}
+			best := -1
+			for o := range bad {
+				diff := (bad[o] ^ goodCopy[o]) & mask
+				if diff == 0 {
+					continue
+				}
+				p := base + bits.TrailingZeros64(diff)
+				step := p*nOut + o
+				if best < 0 || step < best {
+					best = step
+				}
+			}
+			if best >= 0 {
+				first[fi] = best
+			}
+		}
+	}
+	return Result{FirstDetect: first, Patterns: len(patterns) * nOut}, nil
+}
+
+// StepCoverageCurve fault-simulates at strobe granularity and returns
+// the cumulative coverage after every step.
+func StepCoverageCurve(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) ([]CoveragePoint, Result, error) {
+	res, err := RunSteps(c, faults, patterns)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return CurveFromResult(res), res, nil
+}

@@ -1,0 +1,162 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// EventSim is an event-driven scalar simulator: after the first full
+// evaluation, subsequent patterns only re-evaluate gates downstream of
+// inputs that changed. It counts gate evaluations so experiments can
+// report simulation activity.
+type EventSim struct {
+	c       *netlist.Circuit
+	level   []int
+	val     []bool
+	primed  bool
+	inputs  []bool
+	Evals   int // cumulative gate evaluations
+	queue   [][]int
+	inQueue []bool
+	maxLvl  int
+}
+
+// NewEventSim prepares an event-driven simulator.
+func NewEventSim(c *netlist.Circuit) (*EventSim, error) {
+	if err := c.Levelize(); err != nil {
+		return nil, err
+	}
+	depth, err := c.Depth()
+	if err != nil {
+		return nil, err
+	}
+	lv := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		l, err := c.Level(i)
+		if err != nil {
+			return nil, err
+		}
+		lv[i] = l
+	}
+	return &EventSim{
+		c:       c,
+		level:   lv,
+		val:     make([]bool, len(c.Gates)),
+		inputs:  make([]bool, len(c.Inputs)),
+		queue:   make([][]int, depth+1),
+		inQueue: make([]bool, len(c.Gates)),
+		maxLvl:  depth,
+	}, nil
+}
+
+// evalBool evaluates a gate over boolean fanin values.
+func evalBool(t netlist.GateType, fanin []int, val []bool) bool {
+	switch t {
+	case netlist.Buf:
+		return val[fanin[0]]
+	case netlist.Not:
+		return !val[fanin[0]]
+	case netlist.And, netlist.Nand:
+		v := true
+		for _, f := range fanin {
+			v = v && val[f]
+		}
+		if t == netlist.Nand {
+			return !v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := false
+		for _, f := range fanin {
+			v = v || val[f]
+		}
+		if t == netlist.Nor {
+			return !v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := false
+		for _, f := range fanin {
+			v = v != val[f]
+		}
+		if t == netlist.Xnor {
+			return !v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}
+
+// Run simulates one pattern and returns output values. The first call
+// evaluates everything; later calls schedule only affected gates.
+func (e *EventSim) Run(p Pattern) ([]bool, error) {
+	if len(p) != len(e.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: pattern width %d for %d inputs", len(p), len(e.c.Inputs))
+	}
+	if !e.primed {
+		order, err := e.c.Order()
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range e.c.Inputs {
+			e.val[id] = p[i]
+			e.inputs[i] = p[i]
+		}
+		for _, id := range order {
+			g := &e.c.Gates[id]
+			if g.Type == netlist.Input {
+				continue
+			}
+			e.val[id] = evalBool(g.Type, g.Fanin, e.val)
+			e.Evals++
+		}
+		e.primed = true
+		return e.outputs(), nil
+	}
+	// Schedule fanouts of changed inputs.
+	for i, id := range e.c.Inputs {
+		if p[i] != e.inputs[i] {
+			e.inputs[i] = p[i]
+			e.val[id] = p[i]
+			for _, out := range e.c.Gates[id].Fanout {
+				e.schedule(out)
+			}
+		}
+	}
+	// Process levels in order.
+	for lvl := 0; lvl <= e.maxLvl; lvl++ {
+		q := e.queue[lvl]
+		e.queue[lvl] = q[:0]
+		for _, id := range q {
+			e.inQueue[id] = false
+			g := &e.c.Gates[id]
+			nv := evalBool(g.Type, g.Fanin, e.val)
+			e.Evals++
+			if nv != e.val[id] {
+				e.val[id] = nv
+				for _, out := range g.Fanout {
+					e.schedule(out)
+				}
+			}
+		}
+	}
+	return e.outputs(), nil
+}
+
+func (e *EventSim) schedule(id int) {
+	if !e.inQueue[id] {
+		e.inQueue[id] = true
+		lvl := e.level[id]
+		e.queue[lvl] = append(e.queue[lvl], id)
+	}
+}
+
+func (e *EventSim) outputs() []bool {
+	out := make([]bool, len(e.c.Outputs))
+	for i, id := range e.c.Outputs {
+		out[i] = e.val[id]
+	}
+	return out
+}

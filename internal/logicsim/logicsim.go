@@ -1,0 +1,251 @@
+// Package logicsim simulates combinational circuits. It provides
+//
+//   - a 64-way bit-parallel levelized simulator (Simulator): each uint64
+//     word carries 64 independent input patterns, the standard trick the
+//     fault simulator builds on;
+//   - a scalar three-valued (0/1/X) simulator used by the PODEM test
+//     generator's implication step;
+//   - an event-driven simulator that only re-evaluates gates whose
+//     inputs changed, with activity accounting.
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Pattern assigns one bit per primary input, in the circuit's input
+// order.
+type Pattern []bool
+
+// PatternBlock packs up to 64 patterns: word i of the block is the
+// values of input i across the patterns (bit p = pattern p's value).
+type PatternBlock struct {
+	Inputs []uint64 // one word per primary input
+	Count  int      // number of valid patterns (1..64)
+}
+
+// PackPatterns packs up to 64 patterns into a block. All patterns must
+// have the same width (the circuit's input count).
+func PackPatterns(patterns []Pattern) (PatternBlock, error) {
+	if len(patterns) == 0 || len(patterns) > 64 {
+		return PatternBlock{}, fmt.Errorf("logicsim: block needs 1..64 patterns, got %d", len(patterns))
+	}
+	width := len(patterns[0])
+	words := make([]uint64, width)
+	for p, pat := range patterns {
+		if len(pat) != width {
+			return PatternBlock{}, fmt.Errorf("logicsim: pattern %d width %d != %d", p, len(pat), width)
+		}
+		for i, v := range pat {
+			if v {
+				words[i] |= 1 << uint(p)
+			}
+		}
+	}
+	return PatternBlock{Inputs: words, Count: len(patterns)}, nil
+}
+
+// Mask returns the valid-pattern mask of the block.
+func (b PatternBlock) Mask() uint64 {
+	if b.Count >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(b.Count)) - 1
+}
+
+// Simulator evaluates a circuit 64 patterns at a time. It owns a value
+// array indexed by gate ID and is reused across blocks; it is not safe
+// for concurrent use (create one per goroutine).
+type Simulator struct {
+	c     *netlist.Circuit
+	order []int
+	val   []uint64
+}
+
+// NewSimulator prepares a simulator for the circuit, levelizing it.
+func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
+	order, err := c.Order()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{c: c, order: order, val: make([]uint64, len(c.Gates))}, nil
+}
+
+// eval computes a gate's word from its fanin words.
+func eval(t netlist.GateType, fanin []int, val []uint64) uint64 {
+	switch t {
+	case netlist.Buf:
+		return val[fanin[0]]
+	case netlist.Not:
+		return ^val[fanin[0]]
+	case netlist.And, netlist.Nand:
+		v := val[fanin[0]]
+		for _, f := range fanin[1:] {
+			v &= val[f]
+		}
+		if t == netlist.Nand {
+			return ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := val[fanin[0]]
+		for _, f := range fanin[1:] {
+			v |= val[f]
+		}
+		if t == netlist.Nor {
+			return ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := val[fanin[0]]
+		for _, f := range fanin[1:] {
+			v ^= val[f]
+		}
+		if t == netlist.Xnor {
+			return ^v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}
+
+// Run simulates the block and returns the output words (one per
+// primary output, in output order). The returned slice is freshly
+// allocated.
+func (s *Simulator) Run(block PatternBlock) ([]uint64, error) {
+	if len(block.Inputs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	}
+	for i, id := range s.c.Inputs {
+		s.val[id] = block.Inputs[i]
+	}
+	for _, id := range s.order {
+		g := &s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		s.val[id] = eval(g.Type, g.Fanin, s.val)
+	}
+	out := make([]uint64, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		out[i] = s.val[id]
+	}
+	return out, nil
+}
+
+// RunWithFault simulates the block with a single stuck-at fault
+// injected. site is the gate whose *output* is faulty when pin < 0;
+// otherwise the fault is on input pin `pin` of gate `site` (a fanout-
+// branch fault affecting only that receiver). stuck is the stuck value.
+func (s *Simulator) RunWithFault(block PatternBlock, site, pin int, stuck bool) ([]uint64, error) {
+	if len(block.Inputs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	}
+	if site < 0 || site >= len(s.c.Gates) {
+		return nil, fmt.Errorf("logicsim: fault site %d out of range", site)
+	}
+	var stuckWord uint64
+	if stuck {
+		stuckWord = ^uint64(0)
+	}
+	for i, id := range s.c.Inputs {
+		s.val[id] = block.Inputs[i]
+		if id == site && pin < 0 {
+			s.val[id] = stuckWord
+		}
+	}
+	for _, id := range s.order {
+		g := &s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		var v uint64
+		if id == site && pin >= 0 {
+			// Input-pin fault: evaluate with the faulty pin forced.
+			if pin >= len(g.Fanin) {
+				return nil, fmt.Errorf("logicsim: gate %d has no pin %d", site, pin)
+			}
+			v = evalWithForcedPin(g.Type, g.Fanin, s.val, pin, stuckWord)
+		} else {
+			v = eval(g.Type, g.Fanin, s.val)
+		}
+		if id == site && pin < 0 {
+			v = stuckWord
+		}
+		s.val[id] = v
+	}
+	out := make([]uint64, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		out[i] = s.val[id]
+	}
+	return out, nil
+}
+
+// evalWithForcedPin evaluates a gate with one fanin word replaced.
+func evalWithForcedPin(t netlist.GateType, fanin []int, val []uint64, pin int, forced uint64) uint64 {
+	get := func(i int) uint64 {
+		if i == pin {
+			return forced
+		}
+		return val[fanin[i]]
+	}
+	switch t {
+	case netlist.Buf:
+		return get(0)
+	case netlist.Not:
+		return ^get(0)
+	case netlist.And, netlist.Nand:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v &= get(i)
+		}
+		if t == netlist.Nand {
+			return ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v |= get(i)
+		}
+		if t == netlist.Nor {
+			return ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v ^= get(i)
+		}
+		if t == netlist.Xnor {
+			return ^v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}
+
+// RunSingle simulates one pattern and returns the output bits.
+func (s *Simulator) RunSingle(p Pattern) ([]bool, error) {
+	block, err := PackPatterns([]Pattern{p})
+	if err != nil {
+		return nil, err
+	}
+	words, err := s.Run(block)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(words))
+	for i, w := range words {
+		out[i] = w&1 == 1
+	}
+	return out, nil
+}
+
+// Values exposes the internal value of gate id after the last Run; used
+// by the fault simulator for stem analysis.
+func (s *Simulator) Value(id int) uint64 { return s.val[id] }

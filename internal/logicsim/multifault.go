@@ -1,0 +1,129 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Injection is one stuck-at fault to inject during simulation. Pin < 0
+// places the fault on the gate output; otherwise on that input pin.
+// (It mirrors fault.Fault without importing it, keeping this package a
+// pure simulation substrate.)
+type Injection struct {
+	Gate  int
+	Pin   int
+	Stuck bool
+}
+
+// RunWithFaults simulates the block with *all* the given faults present
+// simultaneously — the multiple-fault machine a physically defective
+// chip actually is. The paper's model treats the chip's defects as
+// equivalent to n single stuck faults; the tester substrate uses this
+// to exercise that assumption honestly rather than assuming single
+// faults.
+func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uint64, error) {
+	if len(block.Inputs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	}
+	// Index the injections.
+	stem := make(map[int]uint64, len(faults)) // gate -> forced word
+	hasStem := make(map[int]bool, len(faults))
+	pinForce := make(map[int]map[int]uint64) // gate -> pin -> forced word
+	for _, f := range faults {
+		if f.Gate < 0 || f.Gate >= len(s.c.Gates) {
+			return nil, fmt.Errorf("logicsim: fault site %d out of range", f.Gate)
+		}
+		var w uint64
+		if f.Stuck {
+			w = ^uint64(0)
+		}
+		if f.Pin < 0 {
+			stem[f.Gate] = w
+			hasStem[f.Gate] = true
+		} else {
+			if f.Pin >= len(s.c.Gates[f.Gate].Fanin) {
+				return nil, fmt.Errorf("logicsim: gate %d has no pin %d", f.Gate, f.Pin)
+			}
+			m, ok := pinForce[f.Gate]
+			if !ok {
+				m = make(map[int]uint64)
+				pinForce[f.Gate] = m
+			}
+			m[f.Pin] = w
+		}
+	}
+	for i, id := range s.c.Inputs {
+		v := block.Inputs[i]
+		if hasStem[id] {
+			v = stem[id]
+		}
+		s.val[id] = v
+	}
+	for _, id := range s.order {
+		g := &s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		var v uint64
+		if forces, ok := pinForce[id]; ok {
+			v = evalWithForcedPins(g.Type, g.Fanin, s.val, forces)
+		} else {
+			v = eval(g.Type, g.Fanin, s.val)
+		}
+		if hasStem[id] {
+			v = stem[id]
+		}
+		s.val[id] = v
+	}
+	out := make([]uint64, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		out[i] = s.val[id]
+	}
+	return out, nil
+}
+
+// evalWithForcedPins evaluates a gate with several fanin words forced.
+func evalWithForcedPins(t netlist.GateType, fanin []int, val []uint64, forces map[int]uint64) uint64 {
+	get := func(i int) uint64 {
+		if w, ok := forces[i]; ok {
+			return w
+		}
+		return val[fanin[i]]
+	}
+	switch t {
+	case netlist.Buf:
+		return get(0)
+	case netlist.Not:
+		return ^get(0)
+	case netlist.And, netlist.Nand:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v &= get(i)
+		}
+		if t == netlist.Nand {
+			return ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v |= get(i)
+		}
+		if t == netlist.Nor {
+			return ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := get(0)
+		for i := 1; i < len(fanin); i++ {
+			v ^= get(i)
+		}
+		if t == netlist.Xnor {
+			return ^v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}

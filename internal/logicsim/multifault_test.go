@@ -1,0 +1,132 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestRunWithFaultsSingleMatchesRunWithFault(t *testing.T) {
+	c, err := netlist.RandomCircuit("r", 8, 80, 6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	patterns := make([]Pattern, 32)
+	for i := range patterns {
+		p := make(Pattern, len(c.Inputs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		patterns[i] = p
+	}
+	block, err := PackPatterns(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		gate := rng.Intn(len(c.Gates))
+		pin := -1
+		if n := len(c.Gates[gate].Fanin); n > 0 && rng.Intn(2) == 1 {
+			pin = rng.Intn(n)
+		}
+		stuck := rng.Intn(2) == 1
+		single, err := sim.RunWithFault(block, gate, pin, stuck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleCopy := append([]uint64(nil), single...)
+		multi, err := sim.RunWithFaults(block, []Injection{{Gate: gate, Pin: pin, Stuck: stuck}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range multi {
+			if multi[o]&block.Mask() != singleCopy[o]&block.Mask() {
+				t.Fatalf("trial %d output %d: multi %x single %x", trial, o, multi[o], singleCopy[o])
+			}
+		}
+	}
+}
+
+func TestRunWithFaultsDominantStem(t *testing.T) {
+	// Two faults where one is on a PO stem: the PO must read the stuck
+	// value regardless of the other fault.
+	c := netlist.C17()
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g22, _ := c.GateByName("22")
+	g10, _ := c.GateByName("10")
+	patterns := make([]Pattern, 32)
+	for v := 0; v < 32; v++ {
+		p := make(Pattern, 5)
+		for i := range p {
+			p[i] = v>>i&1 == 1
+		}
+		patterns[v] = p
+	}
+	block, _ := PackPatterns(patterns)
+	out, err := sim.RunWithFaults(block, []Injection{
+		{Gate: g22, Pin: -1, Stuck: false},
+		{Gate: g10, Pin: -1, Stuck: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]&block.Mask() != 0 {
+		t.Errorf("output 22 should be stuck at 0, got %b", out[0]&block.Mask())
+	}
+}
+
+func TestRunWithFaultsErrors(t *testing.T) {
+	sim, err := NewSimulator(netlist.C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make(Pattern, 5)
+	block, _ := PackPatterns([]Pattern{p})
+	if _, err := sim.RunWithFaults(block, []Injection{{Gate: 999, Pin: -1}}); err == nil {
+		t.Error("bad gate should error")
+	}
+	if _, err := sim.RunWithFaults(block, []Injection{{Gate: 10, Pin: 9}}); err == nil {
+		t.Error("bad pin should error")
+	}
+	short := PatternBlock{Inputs: []uint64{0}, Count: 1}
+	if _, err := sim.RunWithFaults(short, nil); err == nil {
+		t.Error("wrong width should error")
+	}
+}
+
+func TestRunWithFaultsInputStem(t *testing.T) {
+	// Stem fault on a primary input.
+	c := netlist.C17()
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in3, _ := c.GateByName("3")
+	patterns := []Pattern{{true, true, false, true, true}}
+	block, _ := PackPatterns(patterns)
+	// Input 3 stuck at 1 with applied 0: gates 10 = NAND(1,3) sees 1,1.
+	out, err := sim.RunWithFaults(block, []Injection{{Gate: in3, Pin: -1, Stuck: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference with every line at 1 after the stuck input: i1=1, i2=1,
+	// i3=1 (stuck), i6=1, i7=1.
+	nandTrue := false // NAND of two 1s
+	n10, n11 := nandTrue, nandTrue
+	n16 := !n11
+	n19 := !n11
+	n22 := !(n10 && n16)
+	n23 := !(n16 && n19)
+	if (out[0]&1 == 1) != n22 || (out[1]&1 == 1) != n23 {
+		t.Error("input stem fault wrong")
+	}
+}

@@ -1,0 +1,157 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Trit is a three-valued logic level: 0, 1, or X (unknown).
+type Trit uint8
+
+// Ternary logic values.
+const (
+	F Trit = iota // logic 0
+	T             // logic 1
+	X             // unknown
+)
+
+// String renders the trit.
+func (t Trit) String() string {
+	switch t {
+	case F:
+		return "0"
+	case T:
+		return "1"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Trit(%d)", uint8(t))
+	}
+}
+
+// NotT returns three-valued NOT.
+func NotT(a Trit) Trit {
+	switch a {
+	case F:
+		return T
+	case T:
+		return F
+	default:
+		return X
+	}
+}
+
+// AndT returns three-valued AND: 0 dominates X.
+func AndT(a, b Trit) Trit {
+	if a == F || b == F {
+		return F
+	}
+	if a == T && b == T {
+		return T
+	}
+	return X
+}
+
+// OrT returns three-valued OR: 1 dominates X.
+func OrT(a, b Trit) Trit {
+	if a == T || b == T {
+		return T
+	}
+	if a == F && b == F {
+		return F
+	}
+	return X
+}
+
+// XorT returns three-valued XOR: any X poisons the result.
+func XorT(a, b Trit) Trit {
+	if a == X || b == X {
+		return X
+	}
+	if a != b {
+		return T
+	}
+	return F
+}
+
+// EvalT evaluates a gate in three-valued logic over its fanin values.
+func EvalT(t netlist.GateType, in []Trit) Trit {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return NotT(in[0])
+	case netlist.And, netlist.Nand:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = AndT(v, x)
+		}
+		if t == netlist.Nand {
+			return NotT(v)
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = OrT(v, x)
+		}
+		if t == netlist.Nor {
+			return NotT(v)
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = XorT(v, x)
+		}
+		if t == netlist.Xnor {
+			return NotT(v)
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}
+
+// TernarySim is a scalar three-valued simulator. PODEM uses it to
+// propagate partial input assignments (unassigned inputs are X).
+type TernarySim struct {
+	c     *netlist.Circuit
+	order []int
+	val   []Trit
+	buf   []Trit
+}
+
+// NewTernarySim prepares a ternary simulator.
+func NewTernarySim(c *netlist.Circuit) (*TernarySim, error) {
+	order, err := c.Order()
+	if err != nil {
+		return nil, err
+	}
+	return &TernarySim{c: c, order: order, val: make([]Trit, len(c.Gates)), buf: make([]Trit, 8)}, nil
+}
+
+// Run evaluates the circuit for the given primary-input assignment
+// (one Trit per input, in input order) and returns the full per-gate
+// value slice, valid until the next Run.
+func (s *TernarySim) Run(inputs []Trit) ([]Trit, error) {
+	if len(inputs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: %d input trits for %d inputs", len(inputs), len(s.c.Inputs))
+	}
+	for i, id := range s.c.Inputs {
+		s.val[id] = inputs[i]
+	}
+	for _, id := range s.order {
+		g := &s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		in := s.buf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, s.val[f])
+		}
+		s.val[id] = EvalT(g.Type, in)
+	}
+	return s.val, nil
+}

@@ -1,0 +1,270 @@
+package logicsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func TestTritString(t *testing.T) {
+	if F.String() != "0" || T.String() != "1" || X.String() != "X" {
+		t.Error("trit strings")
+	}
+	if Trit(7).String() != "Trit(7)" {
+		t.Error("unknown trit string")
+	}
+}
+
+func TestTernaryTruthTables(t *testing.T) {
+	// AND: 0 dominates, OR: 1 dominates, XOR: X poisons.
+	andTab := map[[2]Trit]Trit{
+		{F, F}: F, {F, T}: F, {F, X}: F,
+		{T, F}: F, {T, T}: T, {T, X}: X,
+		{X, F}: F, {X, T}: X, {X, X}: X,
+	}
+	orTab := map[[2]Trit]Trit{
+		{F, F}: F, {F, T}: T, {F, X}: X,
+		{T, F}: T, {T, T}: T, {T, X}: T,
+		{X, F}: X, {X, T}: T, {X, X}: X,
+	}
+	xorTab := map[[2]Trit]Trit{
+		{F, F}: F, {F, T}: T, {F, X}: X,
+		{T, F}: T, {T, T}: F, {T, X}: X,
+		{X, F}: X, {X, T}: X, {X, X}: X,
+	}
+	for in, want := range andTab {
+		if got := AndT(in[0], in[1]); got != want {
+			t.Errorf("AND%v = %v, want %v", in, got, want)
+		}
+	}
+	for in, want := range orTab {
+		if got := OrT(in[0], in[1]); got != want {
+			t.Errorf("OR%v = %v, want %v", in, got, want)
+		}
+	}
+	for in, want := range xorTab {
+		if got := XorT(in[0], in[1]); got != want {
+			t.Errorf("XOR%v = %v, want %v", in, got, want)
+		}
+	}
+	if NotT(X) != X || NotT(F) != T || NotT(T) != F {
+		t.Error("NOT table")
+	}
+}
+
+func TestEvalTAllTypes(t *testing.T) {
+	cases := []struct {
+		typ  netlist.GateType
+		in   []Trit
+		want Trit
+	}{
+		{netlist.Buf, []Trit{T}, T},
+		{netlist.Not, []Trit{T}, F},
+		{netlist.And, []Trit{T, T, T}, T},
+		{netlist.And, []Trit{T, F, X}, F},
+		{netlist.Nand, []Trit{T, T}, F},
+		{netlist.Or, []Trit{F, F, T}, T},
+		{netlist.Nor, []Trit{F, F}, T},
+		{netlist.Xor, []Trit{T, T, T}, T},
+		{netlist.Xnor, []Trit{T, F}, F},
+		{netlist.Xnor, []Trit{X, F}, X},
+	}
+	for _, c := range cases {
+		if got := EvalT(c.typ, c.in); got != c.want {
+			t.Errorf("EvalT(%v, %v) = %v, want %v", c.typ, c.in, got, c.want)
+		}
+	}
+}
+
+func TestTernaryAgreesWithBinary(t *testing.T) {
+	// With no X inputs, the ternary simulator must agree with the
+	// parallel simulator on every gate.
+	c, err := netlist.RandomCircuit("r", 10, 200, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsim, err := NewTernarySim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint32) bool {
+		in := make([]Trit, len(c.Inputs))
+		p := make(Pattern, len(c.Inputs))
+		s := seed
+		for i := range in {
+			s = s*1664525 + 1013904223
+			bit := s>>16&1 == 1
+			p[i] = bit
+			if bit {
+				in[i] = T
+			} else {
+				in[i] = F
+			}
+		}
+		tv, err := tsim.Run(in)
+		if err != nil {
+			return false
+		}
+		if _, err := bsim.RunSingle(p); err != nil {
+			return false
+		}
+		for id := range c.Gates {
+			bin := bsim.Value(id)&1 == 1
+			if tv[id] == X {
+				return false // no X can appear with fully assigned inputs
+			}
+			if (tv[id] == T) != bin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTernaryXPropagation(t *testing.T) {
+	// c17 with all-X inputs: every gate is X. With input 3=0, gates 10
+	// and 11 become 1 regardless of other inputs.
+	c := netlist.C17()
+	sim, err := NewTernarySim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := sim.Run([]Trit{X, X, X, X, X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range c.Outputs {
+		if vals[id] != X {
+			t.Errorf("all-X inputs: output %s = %v", c.Gates[id].Name, vals[id])
+		}
+	}
+	// Input order: 1,2,3,6,7. Set 3 = 0.
+	vals, err = sim.Run([]Trit{X, X, F, X, X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g10, _ := c.GateByName("10")
+	g11, _ := c.GateByName("11")
+	if vals[g10] != T || vals[g11] != T {
+		t.Errorf("NAND with a 0 input must be 1: g10=%v g11=%v", vals[g10], vals[g11])
+	}
+}
+
+func TestTernaryWidthError(t *testing.T) {
+	sim, err := NewTernarySim(netlist.C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run([]Trit{X}); err == nil {
+		t.Error("wrong width should error")
+	}
+}
+
+func TestEventSimMatchesLevelized(t *testing.T) {
+	c, err := netlist.RandomCircuit("r", 10, 300, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esim, err := NewEventSim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := uint32(5)
+	prev := make(Pattern, len(c.Inputs))
+	for trial := 0; trial < 50; trial++ {
+		p := make(Pattern, len(c.Inputs))
+		copy(p, prev)
+		// Flip a few bits to exercise the event path.
+		for k := 0; k < 3; k++ {
+			s = s*1664525 + 1013904223
+			p[int(s>>8)%len(p)] = s>>20&1 == 1
+		}
+		got, err := esim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bsim.RunSingle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d output %d: event %v levelized %v", trial, i, got[i], want[i])
+			}
+		}
+		prev = p
+	}
+}
+
+func TestEventSimActivitySavings(t *testing.T) {
+	// Flipping one input must evaluate far fewer gates than the full
+	// circuit on average.
+	c, err := netlist.ArrayMultiplier(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esim, err := NewEventSim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make(Pattern, len(c.Inputs))
+	if _, err := esim.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	full := esim.Evals
+	// Single-bit change.
+	p2 := make(Pattern, len(p))
+	copy(p2, p)
+	p2[0] = true
+	if _, err := esim.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	delta := esim.Evals - full
+	if delta >= full {
+		t.Errorf("event sim evaluated %d gates for a 1-bit change (full = %d)", delta, full)
+	}
+}
+
+func TestEventSimWidthError(t *testing.T) {
+	esim, err := NewEventSim(netlist.C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := esim.Run(Pattern{true}); err == nil {
+		t.Error("wrong width should error")
+	}
+}
+
+func BenchmarkEventSimOneBitFlips(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	esim, err := NewEventSim(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make(Pattern, len(c.Inputs))
+	if _, err := esim.Run(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p[i%len(p)] = !p[i%len(p)]
+		if _, err := esim.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS ".bench" format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//
+// Output declarations may precede the definition of the named gate, as
+// they do in the published ISCAS benchmark files.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	var outputs []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parseUnary(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+			if _, err := c.AddGate(arg, Input); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parseUnary(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			lhs, t, args, err := parseAssignment(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+			if _, err := c.AddGate(lhs, t, args...); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: reading bench: %w", err)
+	}
+	for _, o := range outputs {
+		if err := c.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseUnary extracts X from "KEYWORD(X)".
+func parseUnary(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// parseAssignment parses "G10 = NAND(G1, G3)".
+func parseAssignment(line string) (lhs string, t GateType, args []string, err error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return "", 0, nil, fmt.Errorf("malformed gate line %q", line)
+	}
+	lhs = strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close < open {
+		return "", 0, nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	t, err = ParseGateType(strings.ToUpper(strings.TrimSpace(rhs[:open])))
+	if err != nil {
+		return "", 0, nil, err
+	}
+	for _, a := range strings.Split(rhs[open+1:close], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", 0, nil, fmt.Errorf("empty fanin in %q", rhs)
+		}
+		args = append(args, a)
+	}
+	return lhs, t, args, nil
+}
+
+// WriteBench writes the circuit in .bench format. Gates appear in
+// topological order so the output re-parses without forward
+// references.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	order, err := c.Order()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs), len(c.Outputs), len(c.Gates))
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// RoundTrip serializes and re-parses the circuit; used by tests and as
+// a structural canonicalizer.
+func (c *Circuit) RoundTrip() (*Circuit, error) {
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		return nil, err
+	}
+	return ParseBench(c.Name, strings.NewReader(sb.String()))
+}
+
+// SortedNames returns all gate names sorted; a convenience for
+// deterministic diagnostics.
+func (c *Circuit) SortedNames() []string {
+	names := make([]string, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		names = append(names, g.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,44 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchNeverPanics throws structured garbage at the parser:
+// whatever happens, it must return an error or a valid circuit, never
+// panic. (A deterministic mini-fuzzer; the corpus mixes valid tokens,
+// truncations, and junk.)
+func TestParseBenchNeverPanics(t *testing.T) {
+	tokens := []string{
+		"INPUT(a)", "INPUT(b)", "OUTPUT(z)", "z = AND(a, b)",
+		"z = AND(a", "= AND(a, b)", "z AND a b", "INPUT()", "OUTPUT(",
+		"z = FLIP(a)", "# comment", "", "  ", "z = NOT(a, b)",
+		"w = XOR(z, a)", "INPUT(a)", "q = BUFF(a)", "r = INV(b)",
+		"z = NAND(ghost, a)", ")(", "====", "OUTPUT(z)",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte('\n')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on:\n%s\npanic: %v", sb.String(), r)
+				}
+			}()
+			c, err := ParseBench("fuzz", strings.NewReader(sb.String()))
+			if err == nil {
+				// If it parsed, it must validate.
+				if verr := c.Validate(); verr != nil {
+					t.Fatalf("parsed circuit fails validation: %v\ninput:\n%s", verr, sb.String())
+				}
+			}
+		}()
+	}
+}

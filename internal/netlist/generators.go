@@ -1,0 +1,364 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// C17Bench is the ISCAS-85 c17 benchmark netlist, the standard smallest
+// test circuit (6 NAND gates).
+const C17Bench = `# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 returns the parsed c17 benchmark.
+func C17() *Circuit {
+	c, err := ParseBench("c17", strings.NewReader(C17Bench))
+	if err != nil {
+		panic("netlist: embedded c17 failed to parse: " + err.Error())
+	}
+	return c
+}
+
+// gensym provides unique hierarchical gate names for generators.
+type gensym struct {
+	c   *Circuit
+	err error
+}
+
+func (g *gensym) add(name string, t GateType, fanin ...string) string {
+	if g.err != nil {
+		return name
+	}
+	_, err := g.c.AddGate(name, t, fanin...)
+	if err != nil {
+		g.err = err
+	}
+	return name
+}
+
+func (g *gensym) output(name string) {
+	if g.err != nil {
+		return
+	}
+	g.err = g.c.MarkOutput(name)
+}
+
+// finish validates and returns.
+func (g *gensym) finish() (*Circuit, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
+	if err := g.c.Validate(); err != nil {
+		return nil, err
+	}
+	return g.c, nil
+}
+
+// RippleAdder returns a width-bit ripple-carry adder: inputs a0..a{w-1},
+// b0..b{w-1}, cin; outputs s0..s{w-1}, cout. Each full adder is built
+// from XOR/AND/OR primitives (5 gates), so the circuit has 5w gates
+// plus the 2w+1 inputs.
+func RippleAdder(width int) (*Circuit, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("netlist: adder width must be >= 1, got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("rca%d", width))}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("a%d", i), Input)
+		g.add(fmt.Sprintf("b%d", i), Input)
+	}
+	carry := g.add("cin", Input)
+	for i := 0; i < width; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		axb := g.add(fmt.Sprintf("fa%d_axb", i), Xor, a, b)
+		sum := g.add(fmt.Sprintf("s%d", i), Xor, axb, carry)
+		and1 := g.add(fmt.Sprintf("fa%d_and1", i), And, axb, carry)
+		and2 := g.add(fmt.Sprintf("fa%d_and2", i), And, a, b)
+		carry = g.add(fmt.Sprintf("fa%d_cout", i), Or, and1, and2)
+		g.output(sum)
+	}
+	g.output(carry)
+	return g.finish()
+}
+
+// ArrayMultiplier returns a width x width unsigned array multiplier:
+// inputs a0.., b0..; outputs p0..p{2w-1}. It uses AND partial products
+// and ripple-carry rows; gate count grows quadratically (≈ 6w² gates),
+// providing the "LSI-scale" circuits for the lot experiment.
+func ArrayMultiplier(width int) (*Circuit, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("netlist: multiplier width must be >= 2, got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("mul%d", width))}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("a%d", i), Input)
+	}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("b%d", i), Input)
+	}
+	// Partial products pp_i_j = a_i AND b_j, weight 2^{i+j}.
+	pp := make([][]string, width)
+	for i := range pp {
+		pp[i] = make([]string, width)
+		for j := range pp[i] {
+			pp[i][j] = g.add(fmt.Sprintf("pp_%d_%d", i, j), And,
+				fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j))
+		}
+	}
+	// acc[pos] holds the running sum bit of weight 2^pos. Row 0 seeds
+	// positions 0..w-1; each later row j ripple-adds its shifted
+	// partial products into positions j..j+w-1, carrying into j+w.
+	acc := make(map[int]string, 2*width)
+	for i := 0; i < width; i++ {
+		acc[i] = pp[i][0]
+	}
+	for j := 1; j < width; j++ {
+		carry := ""
+		for i := 0; i < width; i++ {
+			pos := j + i
+			x := pp[i][j]
+			y := acc[pos]
+			prefix := fmt.Sprintf("m_%d_%d", j, i)
+			switch {
+			case y == "" && carry == "":
+				acc[pos] = x
+			case y == "":
+				acc[pos], carry = halfAdder(g, prefix, x, carry)
+			case carry == "":
+				acc[pos], carry = halfAdder(g, prefix, x, y)
+			default:
+				acc[pos], carry = fullAdder(g, prefix, x, y, carry)
+			}
+		}
+		if carry != "" {
+			acc[j+width] = carry
+		}
+	}
+	for pos := 0; pos < 2*width; pos++ {
+		if sig, ok := acc[pos]; ok {
+			g.output(rename(g, sig, fmt.Sprintf("p%d", pos)))
+		}
+	}
+	return g.finish()
+}
+
+// rename adds a BUF so the output pin carries the canonical name.
+func rename(g *gensym, src, name string) string {
+	return g.add(name, Buf, src)
+}
+
+// halfAdder emits sum = x XOR y, carry = x AND y.
+func halfAdder(g *gensym, prefix, x, y string) (sum, carry string) {
+	sum = g.add(prefix+"_s", Xor, x, y)
+	carry = g.add(prefix+"_c", And, x, y)
+	return sum, carry
+}
+
+// fullAdder emits a 5-gate full adder.
+func fullAdder(g *gensym, prefix, x, y, cin string) (sum, carry string) {
+	axb := g.add(prefix+"_axb", Xor, x, y)
+	sum = g.add(prefix+"_s", Xor, axb, cin)
+	a1 := g.add(prefix+"_a1", And, axb, cin)
+	a2 := g.add(prefix+"_a2", And, x, y)
+	carry = g.add(prefix+"_c", Or, a1, a2)
+	return sum, carry
+}
+
+// ParityTree returns a width-input XOR parity tree, the classic
+// random-pattern-friendly circuit.
+func ParityTree(width int) (*Circuit, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("netlist: parity width must be >= 2, got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("parity%d", width))}
+	layer := make([]string, width)
+	for i := 0; i < width; i++ {
+		layer[i] = g.add(fmt.Sprintf("x%d", i), Input)
+	}
+	lvl := 0
+	for len(layer) > 1 {
+		var next []string
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, g.add(fmt.Sprintf("px%d_%d", lvl, i/2), Xor, layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		lvl++
+	}
+	g.output(rename(g, layer[0], "parity"))
+	return g.finish()
+}
+
+// Decoder returns a bits-to-2^bits one-hot decoder with enable, a
+// random-pattern-resistant structure (each output fires on exactly one
+// input combination).
+func Decoder(bits int) (*Circuit, error) {
+	if bits < 1 || bits > 12 {
+		return nil, fmt.Errorf("netlist: decoder bits must be in [1,12], got %d", bits)
+	}
+	g := &gensym{c: New(fmt.Sprintf("dec%d", bits))}
+	in := make([]string, bits)
+	inv := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		in[i] = g.add(fmt.Sprintf("s%d", i), Input)
+		inv[i] = g.add(fmt.Sprintf("sn%d", i), Not, in[i])
+	}
+	en := g.add("en", Input)
+	for v := 0; v < 1<<bits; v++ {
+		terms := []string{en}
+		for i := 0; i < bits; i++ {
+			if v>>i&1 == 1 {
+				terms = append(terms, in[i])
+			} else {
+				terms = append(terms, inv[i])
+			}
+		}
+		g.output(g.add(fmt.Sprintf("y%d", v), And, terms...))
+	}
+	return g.finish()
+}
+
+// MuxTree returns a 2^selBits-to-1 multiplexer.
+func MuxTree(selBits int) (*Circuit, error) {
+	if selBits < 1 || selBits > 10 {
+		return nil, fmt.Errorf("netlist: mux select bits must be in [1,10], got %d", selBits)
+	}
+	g := &gensym{c: New(fmt.Sprintf("mux%d", selBits))}
+	n := 1 << selBits
+	layer := make([]string, n)
+	for i := 0; i < n; i++ {
+		layer[i] = g.add(fmt.Sprintf("d%d", i), Input)
+	}
+	sel := make([]string, selBits)
+	seln := make([]string, selBits)
+	for i := 0; i < selBits; i++ {
+		sel[i] = g.add(fmt.Sprintf("s%d", i), Input)
+		seln[i] = g.add(fmt.Sprintf("sn%d", i), Not, sel[i])
+	}
+	for b := 0; b < selBits; b++ {
+		var next []string
+		for i := 0; i+1 < len(layer); i += 2 {
+			p := fmt.Sprintf("m%d_%d", b, i/2)
+			lo := g.add(p+"_lo", And, layer[i], seln[b])
+			hi := g.add(p+"_hi", And, layer[i+1], sel[b])
+			next = append(next, g.add(p, Or, lo, hi))
+		}
+		layer = next
+	}
+	g.output(rename(g, layer[0], "y"))
+	return g.finish()
+}
+
+// Comparator returns a width-bit equality comparator (a == b).
+func Comparator(width int) (*Circuit, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("netlist: comparator width must be >= 1, got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("cmp%d", width))}
+	eqs := make([]string, width)
+	for i := 0; i < width; i++ {
+		a := g.add(fmt.Sprintf("a%d", i), Input)
+		b := g.add(fmt.Sprintf("b%d", i), Input)
+		eqs[i] = g.add(fmt.Sprintf("eq%d", i), Xnor, a, b)
+	}
+	// AND-reduce.
+	layer := eqs
+	lvl := 0
+	for len(layer) > 1 {
+		var next []string
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, g.add(fmt.Sprintf("and%d_%d", lvl, i/2), And, layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		lvl++
+	}
+	if width == 1 {
+		g.output(rename(g, layer[0], "eq"))
+	} else {
+		g.output(rename(g, layer[0], "eq_out"))
+	}
+	return g.finish()
+}
+
+// RandomCircuit returns a pseudo-random combinational circuit with the
+// given number of primary inputs and internal gates, reproducible from
+// seed. Gate types are drawn from {AND, NAND, OR, NOR, XOR, NOT} and
+// fanins are drawn from earlier gates with locality bias so depth grows
+// realistically. The last `outputs` gates plus any dangling gates are
+// marked as primary outputs (every signal must reach an output for its
+// faults to be testable).
+func RandomCircuit(name string, inputs, gates, outputs int, seed int64) (*Circuit, error) {
+	if inputs < 2 || gates < 1 || outputs < 1 {
+		return nil, fmt.Errorf("netlist: random circuit needs >= 2 inputs, >= 1 gates, >= 1 outputs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &gensym{c: New(name)}
+	pool := make([]string, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, g.add(fmt.Sprintf("in%d", i), Input))
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Not}
+	for i := 0; i < gates; i++ {
+		t := types[rng.Intn(len(types))]
+		pick := func() string {
+			// Locality bias: prefer recent signals to build depth.
+			if rng.Float64() < 0.7 && len(pool) > inputs {
+				lo := len(pool) - inputs
+				if lo < inputs {
+					lo = 0
+				}
+				return pool[lo+rng.Intn(len(pool)-lo)]
+			}
+			return pool[rng.Intn(len(pool))]
+		}
+		var name string
+		if t == Not {
+			name = g.add(fmt.Sprintf("g%d", i), t, pick())
+		} else {
+			a, b := pick(), pick()
+			for b == a {
+				b = pick()
+			}
+			name = g.add(fmt.Sprintf("g%d", i), t, a, b)
+		}
+		pool = append(pool, name)
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	// Mark outputs: dangling gates (no fanout) plus the last gates until
+	// the requested count is reached.
+	marked := make(map[string]bool)
+	for _, gt := range g.c.Gates {
+		if gt.Type != Input && len(gt.Fanout) == 0 {
+			g.output(gt.Name)
+			marked[gt.Name] = true
+		}
+	}
+	for i := len(pool) - 1; i >= inputs && len(marked) < outputs; i-- {
+		if !marked[pool[i]] {
+			g.output(pool[i])
+			marked[pool[i]] = true
+		}
+	}
+	return g.finish()
+}

@@ -1,0 +1,259 @@
+package netlist
+
+import "fmt"
+
+// CarryLookaheadAdder returns a width-bit adder with single-level
+// carry-lookahead: generate/propagate terms feed explicit carry
+// equations c_{i+1} = g_i OR (p_i AND c_i) expanded into two-level
+// logic. Compared to RippleAdder it is shallower and much heavier on
+// wide-fanin AND/OR gates, exercising fanout-rich fault collapsing.
+func CarryLookaheadAdder(width int) (*Circuit, error) {
+	if width < 1 || width > 16 {
+		return nil, fmt.Errorf("netlist: CLA width must be in [1,16], got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("cla%d", width))}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("a%d", i), Input)
+		g.add(fmt.Sprintf("b%d", i), Input)
+	}
+	cin := g.add("cin", Input)
+	// Generate and propagate per bit.
+	gen := make([]string, width)
+	prop := make([]string, width)
+	for i := 0; i < width; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		gen[i] = g.add(fmt.Sprintf("g%d", i), And, a, b)
+		prop[i] = g.add(fmt.Sprintf("p%d", i), Xor, a, b)
+	}
+	// Expanded carries: c_{i+1} = OR over j<=i of (g_j AND p_{j+1..i})
+	// plus the cin term (cin AND p_0..p_i).
+	carries := make([]string, width+1)
+	carries[0] = cin
+	for i := 0; i < width; i++ {
+		var terms []string
+		// cin term.
+		cinTerm := []string{cin}
+		cinTerm = append(cinTerm, prop[:i+1]...)
+		terms = append(terms, g.add(fmt.Sprintf("c%d_cin", i+1), And, cinTerm...))
+		for j := 0; j <= i; j++ {
+			if j == i {
+				terms = append(terms, gen[j])
+				continue
+			}
+			andTerm := []string{gen[j]}
+			andTerm = append(andTerm, prop[j+1:i+1]...)
+			terms = append(terms, g.add(fmt.Sprintf("c%d_t%d", i+1, j), And, andTerm...))
+		}
+		if len(terms) == 1 {
+			carries[i+1] = terms[0]
+		} else {
+			carries[i+1] = g.add(fmt.Sprintf("c%d", i+1), Or, terms...)
+		}
+	}
+	for i := 0; i < width; i++ {
+		g.output(g.add(fmt.Sprintf("s%d", i), Xor, prop[i], carries[i]))
+	}
+	g.output(rename(g, carries[width], "cout"))
+	return g.finish()
+}
+
+// ALUSlice returns a width-bit ALU supporting four operations selected
+// by (op1, op0): 00 = AND, 01 = OR, 10 = XOR, 11 = ADD (ripple). A
+// classic datapath block mixing random-testable logic with a
+// mode-selected adder, like the function generators in a 74181.
+func ALUSlice(width int) (*Circuit, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("netlist: ALU width must be >= 1, got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("alu%d", width))}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("a%d", i), Input)
+		g.add(fmt.Sprintf("b%d", i), Input)
+	}
+	op0 := g.add("op0", Input)
+	op1 := g.add("op1", Input)
+	nop0 := g.add("nop0", Not, op0)
+	nop1 := g.add("nop1", Not, op1)
+	selAnd := g.add("sel_and", And, nop1, nop0)
+	selOr := g.add("sel_or", And, nop1, op0)
+	selXor := g.add("sel_xor", And, op1, nop0)
+	selAdd := g.add("sel_add", And, op1, op0)
+	carry := ""
+	for i := 0; i < width; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		andB := g.add(fmt.Sprintf("fand%d", i), And, a, b)
+		orB := g.add(fmt.Sprintf("for%d", i), Or, a, b)
+		xorB := g.add(fmt.Sprintf("fxor%d", i), Xor, a, b)
+		// Adder bit.
+		var sum string
+		prefix := fmt.Sprintf("fadd%d", i)
+		if carry == "" {
+			sum = xorB
+			carry = andB
+		} else {
+			sum = g.add(prefix+"_s", Xor, xorB, carry)
+			c1 := g.add(prefix+"_c1", And, xorB, carry)
+			carry = g.add(prefix+"_c", Or, c1, andB)
+		}
+		// Mux the four functions.
+		m0 := g.add(fmt.Sprintf("m%d_and", i), And, andB, selAnd)
+		m1 := g.add(fmt.Sprintf("m%d_or", i), And, orB, selOr)
+		m2 := g.add(fmt.Sprintf("m%d_xor", i), And, xorB, selXor)
+		m3 := g.add(fmt.Sprintf("m%d_add", i), And, sum, selAdd)
+		o01 := g.add(fmt.Sprintf("m%d_01", i), Or, m0, m1)
+		o23 := g.add(fmt.Sprintf("m%d_23", i), Or, m2, m3)
+		g.output(g.add(fmt.Sprintf("y%d", i), Or, o01, o23))
+	}
+	cout := g.add("cout_gated", And, carry, selAdd)
+	g.output(rename(g, cout, "cout"))
+	return g.finish()
+}
+
+// BarrelShifter returns a 2^stages-bit logical left barrel shifter:
+// data inputs d0.., shift amount s0..s{stages-1}; output q0..; vacated
+// positions fill with zero (implemented by gating with the select).
+func BarrelShifter(stages int) (*Circuit, error) {
+	if stages < 1 || stages > 6 {
+		return nil, fmt.Errorf("netlist: barrel shifter stages must be in [1,6], got %d", stages)
+	}
+	g := &gensym{c: New(fmt.Sprintf("bshift%d", stages))}
+	n := 1 << stages
+	layer := make([]string, n)
+	for i := 0; i < n; i++ {
+		layer[i] = g.add(fmt.Sprintf("d%d", i), Input)
+	}
+	sel := make([]string, stages)
+	seln := make([]string, stages)
+	for s := 0; s < stages; s++ {
+		sel[s] = g.add(fmt.Sprintf("s%d", s), Input)
+		seln[s] = g.add(fmt.Sprintf("sn%d", s), Not, sel[s])
+	}
+	for s := 0; s < stages; s++ {
+		shift := 1 << s
+		next := make([]string, n)
+		for i := 0; i < n; i++ {
+			keep := g.add(fmt.Sprintf("st%d_%d_k", s, i), And, layer[i], seln[s])
+			if i >= shift {
+				moved := g.add(fmt.Sprintf("st%d_%d_m", s, i), And, layer[i-shift], sel[s])
+				next[i] = g.add(fmt.Sprintf("st%d_%d", s, i), Or, keep, moved)
+			} else {
+				// Vacated position: selected value is 0, so the stage
+				// output is just the kept term.
+				next[i] = keep
+			}
+		}
+		layer = next
+	}
+	for i := 0; i < n; i++ {
+		g.output(rename(g, layer[i], fmt.Sprintf("q%d", i)))
+	}
+	return g.finish()
+}
+
+// Datapath composes an "LSI-chip-like" block: an ALU whose operands
+// come from a multiplier and an adder, with a parity tree observing the
+// result — a few thousand gates with heterogeneous structure, used as
+// the larger DUT for lot experiments.
+func Datapath(width int) (*Circuit, error) {
+	if width < 2 || width > 8 {
+		return nil, fmt.Errorf("netlist: datapath width must be in [2,8], got %d", width)
+	}
+	g := &gensym{c: New(fmt.Sprintf("datapath%d", width))}
+	// Inputs: x, y (multiplier operands), z (adder operand), op bits.
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("x%d", i), Input)
+	}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("y%d", i), Input)
+	}
+	for i := 0; i < width; i++ {
+		g.add(fmt.Sprintf("z%d", i), Input)
+	}
+	op0 := g.add("op0", Input)
+	op1 := g.add("op1", Input)
+
+	// Multiplier product bits (reuse the array-multiplier construction
+	// inline, low word only).
+	pp := make([][]string, width)
+	for i := range pp {
+		pp[i] = make([]string, width)
+		for j := range pp[i] {
+			pp[i][j] = g.add(fmt.Sprintf("pp_%d_%d", i, j), And,
+				fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", j))
+		}
+	}
+	acc := make(map[int]string, 2*width)
+	for i := 0; i < width; i++ {
+		acc[i] = pp[i][0]
+	}
+	for j := 1; j < width; j++ {
+		carry := ""
+		for i := 0; i < width; i++ {
+			pos := j + i
+			x := pp[i][j]
+			y := acc[pos]
+			prefix := fmt.Sprintf("dm_%d_%d", j, i)
+			switch {
+			case y == "" && carry == "":
+				acc[pos] = x
+			case y == "":
+				acc[pos], carry = halfAdder(g, prefix, x, carry)
+			case carry == "":
+				acc[pos], carry = halfAdder(g, prefix, x, y)
+			default:
+				acc[pos], carry = fullAdder(g, prefix, x, y, carry)
+			}
+		}
+		if carry != "" {
+			acc[j+width] = carry
+		}
+	}
+
+	// ALU combines product low word with z, op-selected.
+	nop0 := g.add("nop0", Not, op0)
+	nop1 := g.add("nop1", Not, op1)
+	selAnd := g.add("sel_and", And, nop1, nop0)
+	selOr := g.add("sel_or", And, nop1, op0)
+	selXor := g.add("sel_xor", And, op1, nop0)
+	selAdd := g.add("sel_add", And, op1, op0)
+	carry := ""
+	results := make([]string, width)
+	for i := 0; i < width; i++ {
+		a := acc[i]
+		b := fmt.Sprintf("z%d", i)
+		andB := g.add(fmt.Sprintf("aand%d", i), And, a, b)
+		orB := g.add(fmt.Sprintf("aor%d", i), Or, a, b)
+		xorB := g.add(fmt.Sprintf("axor%d", i), Xor, a, b)
+		var sum string
+		prefix := fmt.Sprintf("aadd%d", i)
+		if carry == "" {
+			sum = xorB
+			carry = andB
+		} else {
+			sum = g.add(prefix+"_s", Xor, xorB, carry)
+			c1 := g.add(prefix+"_c1", And, xorB, carry)
+			carry = g.add(prefix+"_c", Or, c1, andB)
+		}
+		m0 := g.add(fmt.Sprintf("am%d_0", i), And, andB, selAnd)
+		m1 := g.add(fmt.Sprintf("am%d_1", i), And, orB, selOr)
+		m2 := g.add(fmt.Sprintf("am%d_2", i), And, xorB, selXor)
+		m3 := g.add(fmt.Sprintf("am%d_3", i), And, sum, selAdd)
+		o01 := g.add(fmt.Sprintf("am%d_01", i), Or, m0, m1)
+		o23 := g.add(fmt.Sprintf("am%d_23", i), Or, m2, m3)
+		results[i] = g.add(fmt.Sprintf("r%d", i), Or, o01, o23)
+		g.output(results[i])
+	}
+	// High product word observed directly.
+	for pos := width; pos < 2*width; pos++ {
+		if sig, ok := acc[pos]; ok {
+			g.output(rename(g, sig, fmt.Sprintf("ph%d", pos)))
+		}
+	}
+	// Parity over the result nibble for extra observability.
+	par := results[0]
+	for i := 1; i < width; i++ {
+		par = g.add(fmt.Sprintf("par%d", i), Xor, par, results[i])
+	}
+	g.output(rename(g, par, "parity"))
+	return g.finish()
+}

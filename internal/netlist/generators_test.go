@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := RippleAdder(0); err == nil {
+		t.Error("adder width 0 should error")
+	}
+	if _, err := ArrayMultiplier(1); err == nil {
+		t.Error("multiplier width 1 should error")
+	}
+	if _, err := ParityTree(1); err == nil {
+		t.Error("parity width 1 should error")
+	}
+	if _, err := Decoder(0); err == nil {
+		t.Error("decoder 0 bits should error")
+	}
+	if _, err := Decoder(13); err == nil {
+		t.Error("decoder 13 bits should error")
+	}
+	if _, err := MuxTree(0); err == nil {
+		t.Error("mux 0 select bits should error")
+	}
+	if _, err := Comparator(0); err == nil {
+		t.Error("comparator width 0 should error")
+	}
+	if _, err := RandomCircuit("r", 1, 10, 1, 1); err == nil {
+		t.Error("random circuit with 1 input should error")
+	}
+}
+
+func TestGeneratorsValidate(t *testing.T) {
+	gens := map[string]func() (*Circuit, error){
+		"rca8":     func() (*Circuit, error) { return RippleAdder(8) },
+		"mul4":     func() (*Circuit, error) { return ArrayMultiplier(4) },
+		"parity16": func() (*Circuit, error) { return ParityTree(16) },
+		"parity15": func() (*Circuit, error) { return ParityTree(15) }, // odd width
+		"dec4":     func() (*Circuit, error) { return Decoder(4) },
+		"mux3":     func() (*Circuit, error) { return MuxTree(3) },
+		"cmp8":     func() (*Circuit, error) { return Comparator(8) },
+		"cmp1":     func() (*Circuit, error) { return Comparator(1) },
+		"rand":     func() (*Circuit, error) { return RandomCircuit("rnd", 10, 300, 10, 7) },
+	}
+	for name, gen := range gens {
+		c, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: validation: %v", name, err)
+		}
+	}
+}
+
+func TestRandomCircuitReproducible(t *testing.T) {
+	a, err := RandomCircuit("r", 8, 100, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCircuit("r", 8, 100, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("same seed, different size")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatal("same seed, different structure")
+		}
+		for j := range a.Gates[i].Fanin {
+			if a.Gates[i].Fanin[j] != b.Gates[i].Fanin[j] {
+				t.Fatal("same seed, different fanin")
+			}
+		}
+	}
+	c, err := RandomCircuit("r", 8, 100, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Gates) == len(c.Gates)
+	if same {
+		diff := false
+		for i := range a.Gates {
+			if a.Gates[i].Type != c.Gates[i].Type {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical circuits (suspicious)")
+		}
+	}
+}
+
+func TestRandomCircuitNoDanglers(t *testing.T) {
+	c, err := RandomCircuit("r", 6, 150, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isOutput := make(map[int]bool)
+	for _, o := range c.Outputs {
+		isOutput[o] = true
+	}
+	for _, g := range c.Gates {
+		if g.Type != Input && len(g.Fanout) == 0 && !isOutput[g.ID] {
+			t.Errorf("gate %q dangles: no fanout and not an output", g.Name)
+		}
+	}
+}
+
+func TestMultiplierScales(t *testing.T) {
+	// The multiplier is the "LSI-scale" workhorse: check quadratic-ish
+	// growth and that a 16-bit instance reaches thousands of gates.
+	m8, err := ArrayMultiplier(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16, err := ArrayMultiplier(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m16.Gates) < 3*len(m8.Gates) {
+		t.Errorf("mul16 (%d gates) should be ≈4x mul8 (%d gates)", len(m16.Gates), len(m8.Gates))
+	}
+	if len(m16.Gates) < 1200 {
+		t.Errorf("mul16 has only %d gates", len(m16.Gates))
+	}
+}

@@ -1,0 +1,72 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomCircuitRoundTripProperty(t *testing.T) {
+	// Any generated circuit survives a bench-format round trip with
+	// identical structure.
+	prop := func(seed8, in8, g8 uint8) bool {
+		inputs := 2 + int(in8%10)
+		gates := 5 + int(g8%80)
+		c, err := RandomCircuit("p", inputs, gates, 4, int64(seed8)+1)
+		if err != nil {
+			return false
+		}
+		rt, err := c.RoundTrip()
+		if err != nil {
+			return false
+		}
+		if len(rt.Gates) != len(c.Gates) || len(rt.Inputs) != len(c.Inputs) ||
+			len(rt.Outputs) != len(c.Outputs) {
+			return false
+		}
+		for _, g := range c.Gates {
+			rid, ok := rt.GateByName(g.Name)
+			if !ok {
+				return false
+			}
+			rg := rt.Gates[rid]
+			if rg.Type != g.Type || len(rg.Fanin) != len(g.Fanin) {
+				return false
+			}
+			for i, f := range g.Fanin {
+				if rt.Gates[rg.Fanin[i]].Name != c.Gates[f].Name {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratedCircuitsLevelizeProperty(t *testing.T) {
+	// Every generator output levelizes with consistent depth bounds.
+	prop := func(w8 uint8) bool {
+		w := 2 + int(w8%6)
+		for _, gen := range []func(int) (*Circuit, error){
+			RippleAdder, ArrayMultiplier, ParityTree, Comparator,
+		} {
+			c, err := gen(w)
+			if err != nil {
+				return false
+			}
+			depth, err := c.Depth()
+			if err != nil {
+				return false
+			}
+			if depth < 1 || depth >= len(c.Gates) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadInput reports malformed fitting input (mismatched lengths, too
+// few points).
+var ErrBadInput = errors.New("numeric: bad fitting input")
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b, and the coefficient of determination r². It is
+// used for the origin-slope estimate of n0 (Eq. 10 of the paper), where
+// the first few (coverage, fallout) points are fitted through a line.
+func LinearFit(x, y []float64) (a, b, r2 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0, ErrBadInput
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy KahanSum
+	for i := range x {
+		sx.Add(x[i])
+		sy.Add(y[i])
+		sxx.Add(x[i] * x[i])
+		sxy.Add(x[i] * y[i])
+		syy.Add(y[i] * y[i])
+	}
+	den := n*sxx.Sum() - sx.Sum()*sx.Sum()
+	if den == 0 {
+		return 0, 0, 0, ErrBadInput
+	}
+	b = (n*sxy.Sum() - sx.Sum()*sy.Sum()) / den
+	a = (sy.Sum() - b*sx.Sum()) / n
+	ssTot := syy.Sum() - sy.Sum()*sy.Sum()/n
+	if ssTot == 0 {
+		return a, b, 1, nil
+	}
+	var ssRes KahanSum
+	for i := range x {
+		d := y[i] - (a + b*x[i])
+		ssRes.Add(d * d)
+	}
+	r2 = 1 - ssRes.Sum()/ssTot
+	return a, b, r2, nil
+}
+
+// LinearFitThroughOrigin fits y = b*x by least squares. The fallout
+// curve passes through the origin by construction (zero coverage rejects
+// nothing), so the slope estimate of n0 uses this constrained form.
+func LinearFitThroughOrigin(x, y []float64) (b float64, err error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, ErrBadInput
+	}
+	var sxy, sxx KahanSum
+	for i := range x {
+		sxy.Add(x[i] * y[i])
+		sxx.Add(x[i] * x[i])
+	}
+	if sxx.Sum() == 0 {
+		return 0, ErrBadInput
+	}
+	return sxy.Sum() / sxx.Sum(), nil
+}
+
+// SSE returns the sum of squared errors between observed ys and a model
+// function evaluated at xs.
+func SSE(xs, ys []float64, model func(float64) float64) float64 {
+	var k KahanSum
+	for i := range xs {
+		d := ys[i] - model(xs[i])
+		k.Add(d * d)
+	}
+	return k.Sum()
+}
+
+// GridMinimize evaluates f at count points evenly spaced on [lo, hi]
+// and returns the argument with the smallest value. It is the coarse
+// stage before GoldenMinimize in the n0 fit.
+func GridMinimize(f func(float64) float64, lo, hi float64, count int) float64 {
+	if count < 2 {
+		return lo
+	}
+	best, bestV := lo, math.Inf(1)
+	step := (hi - lo) / float64(count-1)
+	for i := 0; i < count; i++ {
+		x := lo + float64(i)*step
+		if v := f(x); v < bestV {
+			best, bestV = x, v
+		}
+	}
+	return best
+}
+
+// Interp returns the piecewise-linear interpolation of the sample set
+// (xs, ys) at x. xs must be sorted ascending. Values outside the range
+// clamp to the end points; the coverage curves interpolated with this
+// are flat beyond their sampled range by construction.
+func Interp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing segment.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if xs[hi] == xs[lo] {
+		return ys[lo]
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return ys[lo] + t*(ys[hi]-ys[lo])
+}
+
+// Linspace returns count evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, count int) []float64 {
+	if count <= 0 {
+		return nil
+	}
+	if count == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, count)
+	step := (hi - lo) / float64(count-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[count-1] = hi
+	return out
+}

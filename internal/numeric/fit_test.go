@@ -1,0 +1,190 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2.5 + 1.75*v
+	}
+	a, b, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(a, 2.5, 1e-12) || !almostEq(b, 1.75, 1e-12) || !almostEq(r2, 1, 1e-12) {
+		t.Errorf("a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0.1, 0.9, 2.1, 2.9}
+	_, b, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 0.9 || b > 1.1 {
+		t.Errorf("slope %v not near 1", b)
+	}
+	if r2 < 0.98 {
+		t.Errorf("r2 %v too low", r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err != ErrBadInput {
+		t.Error("want ErrBadInput for single point")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err != ErrBadInput {
+		t.Error("want ErrBadInput for mismatched lengths")
+	}
+	// All x equal: vertical line cannot be fit.
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrBadInput {
+		t.Error("want ErrBadInput for degenerate x")
+	}
+}
+
+func TestLinearFitThroughOrigin(t *testing.T) {
+	x := []float64{0.05, 0.08, 0.10}
+	y := []float64{0.41, 0.656, 0.82} // slope 8.2
+	b, err := LinearFitThroughOrigin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(b, 8.2, 1e-6) {
+		t.Errorf("slope = %v, want 8.2", b)
+	}
+}
+
+func TestLinearFitThroughOriginRecoversSlope(t *testing.T) {
+	prop := func(s8 uint8) bool {
+		s := float64(s8)/10 + 0.1
+		x := []float64{1, 2, 3, 4}
+		y := []float64{s, 2 * s, 3 * s, 4 * s}
+		b, err := LinearFitThroughOrigin(x, y)
+		return err == nil && almostEq(b, s, 1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSE(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	if got := SSE(xs, ys, func(x float64) float64 { return 2 * x }); got != 0 {
+		t.Errorf("SSE exact model = %v, want 0", got)
+	}
+	if got := SSE(xs, ys, func(x float64) float64 { return 2*x + 1 }); !almostEq(got, 3, 1e-12) {
+		t.Errorf("SSE offset model = %v, want 3", got)
+	}
+}
+
+func TestGridMinimize(t *testing.T) {
+	got := GridMinimize(func(x float64) float64 { return (x - 4) * (x - 4) }, 0, 10, 101)
+	if !almostEq(got, 4, 1e-9) {
+		t.Errorf("grid min = %v, want 4", got)
+	}
+	if got := GridMinimize(func(x float64) float64 { return x }, 3, 9, 1); got != 3 {
+		t.Errorf("degenerate grid = %v, want lo", got)
+	}
+}
+
+func TestInterp(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 40}
+	cases := []struct{ x, want float64 }{
+		{-1, 0},  // clamp left
+		{0, 0},   // exact
+		{0.5, 5}, // interior
+		{1.5, 25},
+		{2, 40},
+		{3, 40}, // clamp right
+	}
+	for _, c := range cases {
+		if got := Interp(xs, ys, c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Interp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := Interp(nil, nil, 1); got != 0 {
+		t.Errorf("empty Interp = %v, want 0", got)
+	}
+}
+
+func TestInterpMonotoneProperty(t *testing.T) {
+	// Interpolating a monotone sample set stays within [ys[0], ys[last]].
+	xs := Linspace(0, 1, 11)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	prop := func(raw uint16) bool {
+		x := float64(raw) / 65535
+		v := Interp(xs, ys, x)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Linspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Error("Linspace count 0 should be nil")
+	}
+	if one := Linspace(7, 9, 1); len(one) != 1 || one[0] != 7 {
+		t.Error("Linspace count 1 should be [lo]")
+	}
+	ends := Linspace(0.1, 0.3, 7)
+	if ends[6] != 0.3 {
+		t.Error("Linspace must end exactly at hi")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 added 10^7 times loses the tail with naive summation but
+	// not with compensation.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 1e7; i++ {
+		k.Add(1e-16)
+	}
+	if !almostEq(k.Sum(), 1+1e-9, 1e-12) {
+		t.Errorf("kahan sum = %.15g, want %.15g", k.Sum(), 1+1e-9)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEq(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v, want ln 6", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("empty LogSumExp should be -Inf")
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}), -1) {
+		t.Error("all -Inf LogSumExp should be -Inf")
+	}
+	// Stability: huge magnitudes must not overflow.
+	if got := LogSumExp([]float64{1000, 1000}); !almostEq(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp large = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,169 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestLogGammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, 0.5 * math.Log(math.Pi)},
+		{10, math.Log(362880)},
+		{100, 359.1342053695754}, // ln(99!)
+	}
+	for _, c := range cases {
+		got := LogGamma(c.x)
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("LogGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogGammaMatchesStdlib(t *testing.T) {
+	for x := 0.1; x < 50; x += 0.37 {
+		want, _ := math.Lgamma(x)
+		got := LogGamma(x)
+		if !almostEq(got, want, 1e-11) {
+			t.Fatalf("LogGamma(%v) = %v, stdlib %v", x, got, want)
+		}
+	}
+}
+
+func TestLogGammaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for x <= 0")
+		}
+	}()
+	LogGamma(0)
+}
+
+func TestLogFactorial(t *testing.T) {
+	fact := 1.0
+	for n := 0; n <= 20; n++ {
+		if n > 0 {
+			fact *= float64(n)
+		}
+		if got := LogFactorial(n); !almostEq(got, math.Log(fact), 1e-12) {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, got, math.Log(fact))
+		}
+	}
+	// Beyond the cache boundary: must agree with LogGamma.
+	for _, n := range []int{255, 256, 300, 1000} {
+		if got, want := LogFactorial(n), LogGamma(float64(n)+1); !almostEq(got, want, 1e-12) {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLogFactorialRecurrence(t *testing.T) {
+	// Property: ln(n!) = ln((n-1)!) + ln(n) for all n >= 1.
+	prop := func(raw uint16) bool {
+		n := int(raw%2000) + 1
+		return almostEq(LogFactorial(n), LogFactorial(n-1)+math.Log(float64(n)), 1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseSmallExact(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+		{62, 31, 4.65428353255261e17},
+		{5, 6, 0},
+		{5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChooseLargeMatchesLog(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{100, 50}, {200, 13}, {1000, 3}} {
+		got := Choose(c.n, c.k)
+		want := math.Exp(LogChoose(c.n, c.k))
+		if !almostEq(got, want, 1e-9) {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, want)
+		}
+	}
+}
+
+func TestLogChoosePascal(t *testing.T) {
+	// Property: C(n,k) = C(n-1,k-1) + C(n-1,k) in log space.
+	prop := func(rn, rk uint8) bool {
+		n := int(rn%60) + 2
+		k := int(rk) % n
+		if k == 0 {
+			k = 1
+		}
+		lhs := math.Exp(LogChoose(n, k))
+		rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogChooseSymmetry(t *testing.T) {
+	prop := func(rn, rk uint8) bool {
+		n := int(rn % 200)
+		k := 0
+		if n > 0 {
+			k = int(rk) % (n + 1)
+		}
+		return almostEq(LogChoose(n, k), LogChoose(n, n-k), 1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogChooseOutOfRange(t *testing.T) {
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func BenchmarkLogGamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LogGamma(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkLogChoose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LogChoose(10000, i%10000)
+	}
+}

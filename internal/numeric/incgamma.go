@@ -1,0 +1,83 @@
+package numeric
+
+import "math"
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0, via the series expansion
+// for x < a+1 and the continued fraction otherwise (Numerical Recipes
+// style). It backs the chi-square CDF used by the goodness-of-fit
+// test.
+func GammaP(a, x float64) float64 {
+	if a <= 0 {
+		panic("numeric: GammaP requires a > 0")
+	}
+	if x < 0 {
+		panic("numeric: GammaP requires x >= 0")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// GammaQ returns the upper tail Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) float64 { return 1 - GammaP(a, x) }
+
+// gammaSeries evaluates P(a,x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-LogGamma(a))
+}
+
+// gammaCF evaluates Q(a,x) by Lentz's continued fraction.
+func gammaCF(a, x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-LogGamma(a)) * h
+}
+
+// ChiSquareSurvival returns P(X >= stat) for a chi-square distribution
+// with df degrees of freedom: the p-value of a goodness-of-fit test.
+func ChiSquareSurvival(stat float64, df int) float64 {
+	if df <= 0 {
+		panic("numeric: chi-square needs df > 0")
+	}
+	if stat <= 0 {
+		return 1
+	}
+	return GammaQ(float64(df)/2, stat/2)
+}

@@ -1,0 +1,90 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almostEq(got, want, 1e-12) {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); !almostEq(got, want, 1e-10) {
+			t.Errorf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPEdges(t *testing.T) {
+	if GammaP(2, 0) != 0 {
+		t.Error("P(a,0) should be 0")
+	}
+	if got := GammaP(3, 1000); !almostEq(got, 1, 1e-12) {
+		t.Errorf("P(3,1000) = %v", got)
+	}
+	for _, fn := range []func(){
+		func() { GammaP(0, 1) },
+		func() { GammaP(1, -1) },
+		func() { ChiSquareSurvival(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGammaPMonotoneAndBounded(t *testing.T) {
+	prop := func(ra, rx uint8) bool {
+		a := 0.2 + float64(ra)/16
+		x1 := float64(rx) / 16
+		x2 := x1 + 0.5
+		p1, p2 := GammaP(a, x1), GammaP(a, x2)
+		return p1 >= 0 && p2 <= 1 && p1 <= p2+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	for a := 0.5; a < 20; a += 1.7 {
+		for x := 0.1; x < 40; x += 2.3 {
+			if s := GammaP(a, x) + GammaQ(a, x); !almostEq(s, 1, 1e-10) {
+				t.Errorf("P+Q = %v at a=%v x=%v", s, a, x)
+			}
+		}
+	}
+}
+
+func TestChiSquareSurvivalKnown(t *testing.T) {
+	// df=1: P(X >= 3.841) ≈ 0.05; df=2: survival = e^{-x/2};
+	// df=10: P(X >= 18.307) ≈ 0.05.
+	if got := ChiSquareSurvival(3.841, 1); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("df=1: %v", got)
+	}
+	for _, x := range []float64{1, 4, 9} {
+		want := math.Exp(-x / 2)
+		if got := ChiSquareSurvival(x, 2); !almostEq(got, want, 1e-10) {
+			t.Errorf("df=2 x=%v: %v want %v", x, got, want)
+		}
+	}
+	if got := ChiSquareSurvival(18.307, 10); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("df=10: %v", got)
+	}
+	if ChiSquareSurvival(0, 5) != 1 {
+		t.Error("zero statistic should have p = 1")
+	}
+}

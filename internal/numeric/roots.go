@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by the root finders when the supplied interval
+// does not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// effTol widens tol so that it is achievable at the magnitude of the
+// bracketing interval: an absolute tolerance below the float64 spacing
+// at |a|,|b| can never be met, so a few ulps are always added.
+func effTol(tol, a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return tol + 4*eps*scale
+}
+
+const eps = 2.220446049250313e-16 // float64 machine epsilon
+
+// Bisect finds x in [a, b] with f(x) = 0 using bisection. f(a) and f(b)
+// must have opposite signs. The returned root is within tol of the true
+// root (relaxed by a few ulps at large magnitudes). Bisection is used
+// where robustness matters more than speed, e.g. inverting the
+// reject-rate curve, which is monotone but has nearly flat regions at
+// high coverage.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	tol = effTol(tol, a, b)
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). It converges much
+// faster than bisection on smooth functions such as the fallout curve.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	var d float64
+	mflag := true
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < effTol(tol, a, b) {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		useBisect := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if useBisect {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// invPhi is the reciprocal golden ratio used by GoldenMinimize.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMinimize returns the x in [a, b] minimizing f, assuming f is
+// unimodal on the interval, to within tol. It is used to refine the
+// least-squares fit of the fault-distribution parameter n0.
+func GoldenMinimize(f func(float64) float64, a, b, tol float64) float64 {
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}

@@ -1,0 +1,120 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectLinear(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return 2*x - 1 }, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(root, 0.5, 1e-10) {
+		t.Errorf("root = %v, want 0.5", root)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-12); err != nil || r != 0 {
+		t.Errorf("root = %v err = %v, want exact 0", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-12); err != nil || r != 0 {
+		t.Errorf("root = %v err = %v, want exact 0", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9)
+	if err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos(x) = x has root ~0.7390851332151607.
+	root, err := Brent(func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(root, 0.7390851332151607, 1e-10) {
+		t.Errorf("root = %v", root)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 3 }
+	rb, err1 := Bisect(f, 0, 2, 1e-12)
+	rr, err2 := Brent(f, 0, 2, 1e-12)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !almostEq(rb, rr, 1e-9) || !almostEq(rr, math.Log(3), 1e-9) {
+		t.Errorf("bisect %v brent %v want %v", rb, rr, math.Log(3))
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	_, err := Brent(func(x float64) float64 { return 1 + x*x }, -3, 3, 1e-9)
+	if err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestRootFindersOnRandomMonotone(t *testing.T) {
+	// Property: for a random increasing cubic with a root inside [-10,10],
+	// both finders locate a point where |f| is tiny.
+	prop := func(a8, b8 uint8) bool {
+		a := float64(a8%50) + 1 // positive leading coefficients => monotone
+		b := float64(b8%50) + 1
+		shift := float64(int(a8)%7 - 3)
+		f := func(x float64) float64 { return a*(x-shift)*(x-shift)*(x-shift) + b*(x-shift) }
+		r1, err1 := Bisect(f, -10, 10, 1e-12)
+		r2, err2 := Brent(f, -10, 10, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(f(r1)) < 1e-6 && math.Abs(f(r2)) < 1e-6 &&
+			almostEq(r1, shift, 1e-6) && almostEq(r2, shift, 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenMinimizeQuadratic(t *testing.T) {
+	min := GoldenMinimize(func(x float64) float64 { return (x - 3.25) * (x - 3.25) }, 0, 10, 1e-10)
+	if !almostEq(min, 3.25, 1e-7) {
+		t.Errorf("min = %v, want 3.25", min)
+	}
+}
+
+func TestGoldenMinimizeEdge(t *testing.T) {
+	// Monotone decreasing on the interval: minimizer is the right edge.
+	min := GoldenMinimize(func(x float64) float64 { return -x }, 0, 5, 1e-9)
+	if !almostEq(min, 5, 1e-6) {
+		t.Errorf("min = %v, want 5", min)
+	}
+}
+
+func TestGoldenMinimizeUnimodalProperty(t *testing.T) {
+	prop := func(c8 uint8) bool {
+		c := float64(c8) / 255 * 8 // target in [0,8]
+		got := GoldenMinimize(func(x float64) float64 { return math.Abs(x - c) }, -1, 9, 1e-9)
+		return almostEq(got, c, 1e-6) || math.Abs(got-c) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBrent(b *testing.B) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	for i := 0; i < b.N; i++ {
+		if _, err := Brent(f, 0, 1, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

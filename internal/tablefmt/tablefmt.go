@@ -1,0 +1,103 @@
+// Package tablefmt writes aligned plain-text tables, used by the
+// experiment drivers to print the paper's tables.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of pre-formatted cells.
+func (t *Table) AddRowf(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	ncols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	writeRow := func(row []string) error {
+		var sb strings.Builder
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if len(t.headers) > 0 {
+		if err := writeRow(t.headers); err != nil {
+			return err
+		}
+		var sep []string
+		for _, wd := range widths {
+			sep = append(sep, strings.Repeat("-", wd))
+		}
+		if err := writeRow(sep); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 100)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Errorf("row wrong: %q", lines[2])
+	}
+	// Columns aligned: "value" column starts at the same offset.
+	off := strings.Index(lines[0], "value")
+	if !strings.Contains(lines[3][off:], "100") {
+		t.Errorf("misaligned: %q", lines[3])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("a")
+	tb.AddRowf("x")
+	if !strings.Contains(tb.String(), "x") {
+		t.Error("AddRowf lost cell")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("1", "2", "3") // extra cell beyond headers
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "only") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("v")
+	tb.AddRow(0.123456789)
+	if !strings.Contains(tb.String(), "0.1235") {
+		t.Errorf("float not compacted: %s", tb.String())
+	}
+}
+
+func TestNoHeaders(t *testing.T) {
+	tb := New()
+	tb.AddRow("cell")
+	out := tb.String()
+	if strings.Contains(out, "--") {
+		t.Error("separator printed without headers")
+	}
+	if !strings.Contains(out, "cell") {
+		t.Error("row missing")
+	}
+}

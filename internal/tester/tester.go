@@ -1,0 +1,245 @@
+// Package tester is the ATE (automatic test equipment) substrate: it
+// applies an ordered pattern set to each chip of a lot, stops at the
+// first failing pattern, and records that pattern's index — exactly the
+// experiment §5 and §7 of the paper run on a Fairchild Sentry. The
+// per-chip first-fail indices, joined with the fault simulator's
+// cumulative-coverage ramp, give the fallout curve from which n0 is
+// estimated.
+package tester
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/defect"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// NeverFails marks a chip that passes the whole pattern set.
+const NeverFails = -1
+
+// ATE tests chips against a fixed circuit and ordered pattern set.
+type ATE struct {
+	c        *netlist.Circuit
+	patterns []logicsim.Pattern
+	blocks   []logicsim.PatternBlock
+	good     [][]uint64 // good-machine outputs per block
+	sim      *logicsim.Simulator
+}
+
+// New builds an ATE, pre-simulating the good machine once.
+func New(c *netlist.Circuit, patterns []logicsim.Pattern) (*ATE, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("tester: no patterns")
+	}
+	sim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	a := &ATE{c: c, patterns: patterns, sim: sim}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block, err := logicsim.PackPatterns(patterns[base:end])
+		if err != nil {
+			return nil, err
+		}
+		good, err := sim.Run(block)
+		if err != nil {
+			return nil, err
+		}
+		a.blocks = append(a.blocks, block)
+		a.good = append(a.good, append([]uint64(nil), good...))
+	}
+	return a, nil
+}
+
+// Patterns returns the number of patterns the ATE applies.
+func (a *ATE) Patterns() int { return len(a.patterns) }
+
+// TestChip returns the index of the first pattern the chip fails, or
+// NeverFails. The chip's faults are injected simultaneously (a multi-
+// fault machine), which is what physical testing actually observes.
+func (a *ATE) TestChip(chip defect.Chip, universe []logicsim.Injection) (int, error) {
+	if !chip.Defective() {
+		return NeverFails, nil
+	}
+	inj, err := a.injections(chip, universe)
+	if err != nil {
+		return 0, err
+	}
+	for bi, block := range a.blocks {
+		bad, err := a.sim.RunWithFaults(block, inj)
+		if err != nil {
+			return 0, err
+		}
+		var diff uint64
+		for o := range bad {
+			diff |= (bad[o] ^ a.good[bi][o]) & block.Mask()
+		}
+		if diff != 0 {
+			return bi*64 + bits.TrailingZeros64(diff), nil
+		}
+	}
+	return NeverFails, nil
+}
+
+// TestChipSteps returns the first failing *strobe* (pattern × output)
+// step index, or NeverFails. This matches the Sentry's bookkeeping in
+// Table 1 ("the first pattern at which the tester strobed the chip
+// output"): step = pattern*numOutputs + outputIndex.
+func (a *ATE) TestChipSteps(chip defect.Chip, universe []logicsim.Injection) (int, error) {
+	if !chip.Defective() {
+		return NeverFails, nil
+	}
+	inj, err := a.injections(chip, universe)
+	if err != nil {
+		return 0, err
+	}
+	nOut := len(a.c.Outputs)
+	for bi, block := range a.blocks {
+		bad, err := a.sim.RunWithFaults(block, inj)
+		if err != nil {
+			return 0, err
+		}
+		best := -1
+		for o := range bad {
+			diff := (bad[o] ^ a.good[bi][o]) & block.Mask()
+			if diff == 0 {
+				continue
+			}
+			p := bi*64 + bits.TrailingZeros64(diff)
+			step := p*nOut + o
+			if best < 0 || step < best {
+				best = step
+			}
+		}
+		if best >= 0 {
+			return best, nil
+		}
+	}
+	return NeverFails, nil
+}
+
+// injections maps a chip's fault indices into injectable faults.
+func (a *ATE) injections(chip defect.Chip, universe []logicsim.Injection) ([]logicsim.Injection, error) {
+	inj := make([]logicsim.Injection, len(chip.Faults))
+	for i, fi := range chip.Faults {
+		if fi < 0 || fi >= len(universe) {
+			return nil, fmt.Errorf("tester: chip fault index %d out of universe", fi)
+		}
+		inj[i] = universe[fi]
+	}
+	return inj, nil
+}
+
+// LotResult is the record the paper's experiment produces.
+type LotResult struct {
+	// FirstFail[i] is chip i's first failing pattern, or NeverFails.
+	FirstFail []int
+	// TestedYield is the fraction of chips that passed every pattern
+	// (what the line actually ships before field returns).
+	TestedYield float64
+	// TrueYield is the fraction of chips with no faults at all.
+	TrueYield float64
+	// Escapes counts defective chips that passed all patterns — the
+	// bad chips shipped, whose fraction the reject-rate model predicts.
+	Escapes int
+}
+
+// TestLot tests every chip and aggregates the lot statistics at
+// pattern granularity.
+func (a *ATE) TestLot(lot defect.Lot) (LotResult, error) {
+	return a.testLot(lot, (*ATE).TestChip)
+}
+
+// TestLotSteps is TestLot at strobe granularity: FirstFail holds step
+// indices (pattern*numOutputs + output).
+func (a *ATE) TestLotSteps(lot defect.Lot) (LotResult, error) {
+	return a.testLot(lot, (*ATE).TestChipSteps)
+}
+
+func (a *ATE) testLot(lot defect.Lot, test func(*ATE, defect.Chip, []logicsim.Injection) (int, error)) (LotResult, error) {
+	universe := make([]logicsim.Injection, len(lot.Universe))
+	for i, f := range lot.Universe {
+		universe[i] = logicsim.Injection{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}
+	}
+	res := LotResult{FirstFail: make([]int, len(lot.Chips))}
+	passed, trueGood := 0, 0
+	for i, chip := range lot.Chips {
+		ff, err := test(a, chip, universe)
+		if err != nil {
+			return LotResult{}, err
+		}
+		res.FirstFail[i] = ff
+		if ff == NeverFails {
+			passed++
+			if chip.Defective() {
+				res.Escapes++
+			}
+		}
+		if !chip.Defective() {
+			trueGood++
+		}
+	}
+	n := float64(len(lot.Chips))
+	res.TestedYield = float64(passed) / n
+	res.TrueYield = float64(trueGood) / n
+	return res, nil
+}
+
+// FalloutRow is one line of the paper's Table 1.
+type FalloutRow struct {
+	Coverage   float64 // cumulative fault coverage at the checkpoint
+	CumFailed  int     // cumulative number of chips failed
+	CumFracton float64 // cumulative fraction of chips failed
+}
+
+// FalloutTable reduces a lot result to Table 1 format at the given
+// pattern checkpoints, using the coverage ramp from fault simulation.
+// checkpoints are pattern indices (inclusive); the coverage column is
+// the ramp value at that pattern.
+func FalloutTable(res LotResult, curve []faultsim.CoveragePoint, checkpoints []int) ([]FalloutRow, error) {
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("tester: empty coverage curve")
+	}
+	rows := make([]FalloutRow, 0, len(checkpoints))
+	total := len(res.FirstFail)
+	for _, cp := range checkpoints {
+		if cp < 0 || cp >= len(curve) {
+			return nil, fmt.Errorf("tester: checkpoint %d outside curve (%d patterns)", cp, len(curve))
+		}
+		failed := 0
+		for _, ff := range res.FirstFail {
+			if ff != NeverFails && ff <= cp {
+				failed++
+			}
+		}
+		rows = append(rows, FalloutRow{
+			Coverage:   curve[cp].Coverage,
+			CumFailed:  failed,
+			CumFracton: float64(failed) / float64(total),
+		})
+	}
+	return rows, nil
+}
+
+// FirstFailCoverages converts first-fail pattern indices to first-fail
+// *coverages* using the ramp; chips that never fail map to NaN. This is
+// the input format the estimate package's bootstrap consumes.
+func FirstFailCoverages(res LotResult, curve []faultsim.CoveragePoint) []float64 {
+	out := make([]float64, len(res.FirstFail))
+	for i, ff := range res.FirstFail {
+		if ff == NeverFails {
+			out[i] = math.NaN()
+		} else {
+			out[i] = curve[ff].Coverage
+		}
+	}
+	return out
+}

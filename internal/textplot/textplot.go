@@ -1,0 +1,152 @@
+// Package textplot renders line/scatter plots as ASCII for terminals:
+// enough to regenerate the shapes of the paper's figures (including the
+// log-scale reject-rate axis of Fig. 1 and Fig. 6) without any graphics
+// dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted data set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // glyph used for this series; 0 picks automatically
+}
+
+// Plot is a 2D chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot area columns (default 70)
+	Height int  // plot area rows (default 22)
+	LogY   bool // logarithmic y axis
+	series []Series
+}
+
+// markers cycles through distinguishable glyphs.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; empty series are ignored.
+func (p *Plot) Add(s Series) {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return
+	}
+	if s.Marker == 0 {
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	p.series = append(p.series, s)
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 70
+	}
+	if h <= 0 {
+		h = 22
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY && y <= 0 {
+				continue
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	ylo, yhi := ymin, ymax
+	if p.LogY {
+		ylo, yhi = math.Log10(ymin), math.Log10(ymax)
+		if yhi == ylo {
+			yhi = ylo + 1
+		}
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ylo)/(yhi-ylo)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	// Y-axis labels on selected rows.
+	for r := 0; r < h; r++ {
+		frac := float64(h-1-r) / float64(h-1)
+		yval := ylo + frac*(yhi-ylo)
+		if p.LogY {
+			yval = math.Pow(10, yval)
+		}
+		label := "          "
+		if r == 0 || r == h-1 || r == h/2 {
+			label = fmt.Sprintf("%9.4g", yval)
+		} else {
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s+\n", strings.Repeat(" ", 9), strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 9), xmin,
+		strings.Repeat(" ", maxInt(0, w-20)), xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "%s  x: %s   y: %s\n", strings.Repeat(" ", 9), p.XLabel, p.YLabel)
+	}
+	if len(p.series) > 1 || (len(p.series) == 1 && p.series[0].Name != "") {
+		fmt.Fprintf(&sb, "%s  legend:", strings.Repeat(" ", 9))
+		for _, s := range p.series {
+			fmt.Fprintf(&sb, " %c=%s", s.Marker, s.Name)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := Plot{Title: "test", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	p.Add(Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	out := p.Render()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// Mismatched series is ignored.
+	p.Add(Series{X: []float64{1}, Y: []float64{1, 2}})
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Error("mismatched series should be ignored")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := Plot{LogY: true, Width: 40, Height: 12}
+	p.Add(Series{Name: "decay", X: []float64{0, 1, 2, 3}, Y: []float64{1, 0.1, 0.01, 0.001}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("log plot missing points")
+	}
+	// Log spacing: equal decades should land on distinct, roughly
+	// evenly spaced rows — assert all four points appear in the plot
+	// area (excluding the legend line, which repeats the marker).
+	area := out[:strings.Index(out, "legend")]
+	if count := strings.Count(area, "*"); count != 4 {
+		t.Errorf("expected 4 plotted points, found %d", count)
+	}
+}
+
+func TestRenderLogYIgnoresNonPositive(t *testing.T) {
+	p := Plot{LogY: true, Width: 30, Height: 8}
+	p.Add(Series{X: []float64{0, 1, 2}, Y: []float64{0, -1, 0.5}})
+	out := p.Render()
+	if strings.Count(out, "*") != 1 {
+		t.Errorf("non-positive y must be dropped on log axis:\n%s", out)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	p := Plot{Width: 30, Height: 8}
+	p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	out := p.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("distinct markers expected")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	p.Add(Series{X: []float64{1, 1}, Y: []float64{2, 2}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("degenerate ranges must still render")
+	}
+}

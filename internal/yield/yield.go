@@ -1,0 +1,156 @@
+// Package yield implements the classical integrated-circuit yield models
+// referenced by the paper: the simple Poisson model, Murphy's and Seeds'
+// composite models, Price's model, and the Stapper/Sredni
+// negative-binomial model that the paper itself uses as Eq. 3:
+//
+//	y = (1 + λ D0 A)^(-1/λ)
+//
+// where A is chip area, D0 the mean defect density, and λ the normalized
+// variance of D0. The package also fits defect density from observed
+// yields, which the shrink-study experiment uses.
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Model predicts the yield (probability a manufactured chip is free of
+// defects) from the expected defect count per chip.
+type Model interface {
+	// Yield returns the predicted yield for an average of d0a defects
+	// per chip (d0a = D0 * A).
+	Yield(d0a float64) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Poisson is the classical y = e^{-D0 A} model: defects land
+// independently and any defect kills the chip.
+type Poisson struct{}
+
+// Yield returns e^{-d0a}.
+func (Poisson) Yield(d0a float64) float64 { return math.Exp(-d0a) }
+
+// Name returns "poisson".
+func (Poisson) Name() string { return "poisson" }
+
+// Murphy is Murphy's 1964 model, the integral of the Poisson yield over
+// a symmetric triangular distribution of defect density:
+// y = [(1 - e^{-d})/d]².
+type Murphy struct{}
+
+// Yield returns [(1 - e^{-d0a})/d0a]².
+func (Murphy) Yield(d0a float64) float64 {
+	if d0a == 0 {
+		return 1
+	}
+	t := (1 - math.Exp(-d0a)) / d0a
+	return t * t
+}
+
+// Name returns "murphy".
+func (Murphy) Name() string { return "murphy" }
+
+// Seeds is Seeds' 1967 exponential-mixture model: y = 1/(1 + d).
+type Seeds struct{}
+
+// Yield returns 1/(1 + d0a).
+func (Seeds) Yield(d0a float64) float64 { return 1 / (1 + d0a) }
+
+// Name returns "seeds".
+func (Seeds) Name() string { return "seeds" }
+
+// Price is Price's 1970 Bose-Einstein-statistics model; for a single
+// defect type it coincides with Seeds' form but it is listed separately
+// because the paper cites both.
+type Price struct {
+	// Mechanisms is the number of independent defect mechanisms; the
+	// yield is the product over mechanisms of 1/(1 + d/k).
+	Mechanisms int
+}
+
+// Yield returns Π 1/(1 + d0a/k).
+func (p Price) Yield(d0a float64) float64 {
+	k := p.Mechanisms
+	if k <= 0 {
+		k = 1
+	}
+	per := d0a / float64(k)
+	y := 1.0
+	for i := 0; i < k; i++ {
+		y /= 1 + per
+	}
+	return y
+}
+
+// Name returns "price".
+func (p Price) Name() string { return "price" }
+
+// NegBinomial is the Stapper/Sredni composite model the paper adopts as
+// Eq. 3: y = (1 + λ d)^{-1/λ}, where λ is the normalized variance of
+// the defect density across the line. λ → 0 recovers the Poisson model;
+// λ = 1 recovers Seeds.
+type NegBinomial struct {
+	Lambda float64 // variance parameter of D0, > 0
+}
+
+// NewNegBinomial validates λ > 0.
+func NewNegBinomial(lambda float64) (NegBinomial, error) {
+	if !(lambda > 0) {
+		return NegBinomial{}, fmt.Errorf("yield: lambda must be > 0, got %v", lambda)
+	}
+	return NegBinomial{Lambda: lambda}, nil
+}
+
+// Yield returns (1 + λ d0a)^{-1/λ} (Eq. 3 of the paper).
+func (nb NegBinomial) Yield(d0a float64) float64 {
+	return math.Pow(1+nb.Lambda*d0a, -1/nb.Lambda)
+}
+
+// Name returns "negbinomial".
+func (nb NegBinomial) Name() string { return "negbinomial" }
+
+// DefectsForYield inverts the model: it returns the average defect count
+// per chip d0a that produces the target yield y in (0, 1].
+func DefectsForYield(m Model, y float64) (float64, error) {
+	if !(y > 0 && y <= 1) {
+		return 0, fmt.Errorf("yield: target yield must be in (0,1], got %v", y)
+	}
+	if y == 1 {
+		return 0, nil
+	}
+	// Bracket: yield is decreasing in d0a. Grow hi until below target.
+	hi := 1.0
+	for m.Yield(hi) > y {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("yield: cannot bracket defect count for yield %v under %s", y, m.Name())
+		}
+	}
+	return numeric.Brent(func(d float64) float64 { return m.Yield(d) - y }, 0, hi, 1e-12)
+}
+
+// ScaleArea returns the defect count after scaling chip area by factor
+// s (area shrinks quadratically with linear feature shrink): d' = d * s.
+func ScaleArea(d0a, s float64) float64 { return d0a * s }
+
+// FitLambda estimates the λ parameter of the negative-binomial model
+// from (d0a, yield) observations by least squares on a λ grid followed
+// by golden-section refinement. This mirrors how a line characterizes
+// its own process before applying the paper's Eq. 3.
+func FitLambda(d0a, yields []float64) (float64, error) {
+	if len(d0a) != len(yields) || len(d0a) < 2 {
+		return 0, fmt.Errorf("yield: need >= 2 paired observations, got %d/%d", len(d0a), len(yields))
+	}
+	sse := func(lambda float64) float64 {
+		m := NegBinomial{Lambda: lambda}
+		return numeric.SSE(d0a, yields, m.Yield)
+	}
+	coarse := numeric.GridMinimize(sse, 0.01, 10, 400)
+	lo := math.Max(0.005, coarse/2)
+	hi := math.Min(20, coarse*2)
+	return numeric.GoldenMinimize(sse, lo, hi, 1e-9), nil
+}

@@ -1,0 +1,219 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func allModels() []Model {
+	return []Model{Poisson{}, Murphy{}, Seeds{}, Price{Mechanisms: 3}, NegBinomial{Lambda: 0.5}}
+}
+
+func TestYieldAtZeroDefectsIsOne(t *testing.T) {
+	for _, m := range allModels() {
+		if got := m.Yield(0); !almostEq(got, 1, 1e-12) {
+			t.Errorf("%s: Yield(0) = %v, want 1", m.Name(), got)
+		}
+	}
+}
+
+func TestYieldMonotoneDecreasing(t *testing.T) {
+	for _, m := range allModels() {
+		prev := 1.0
+		for d := 0.1; d < 50; d += 0.3 {
+			y := m.Yield(d)
+			if y > prev {
+				t.Errorf("%s: yield not decreasing at d=%v", m.Name(), d)
+			}
+			if y < 0 || y > 1 {
+				t.Errorf("%s: yield %v out of range at d=%v", m.Name(), y, d)
+			}
+			prev = y
+		}
+	}
+}
+
+func TestPoissonYieldKnown(t *testing.T) {
+	if got := (Poisson{}).Yield(1); !almostEq(got, math.Exp(-1), 1e-12) {
+		t.Errorf("Poisson Yield(1) = %v", got)
+	}
+}
+
+func TestMurphyKnown(t *testing.T) {
+	// Murphy(1) = ((1 - e^-1)/1)^2 ≈ 0.399576.
+	if got := (Murphy{}).Yield(1); !almostEq(got, 0.39957640089781666, 1e-9) {
+		t.Errorf("Murphy Yield(1) = %v", got)
+	}
+}
+
+func TestSeedsKnown(t *testing.T) {
+	if got := (Seeds{}).Yield(1); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("Seeds Yield(1) = %v", got)
+	}
+}
+
+func TestPriceReductions(t *testing.T) {
+	// One mechanism = Seeds.
+	p1 := Price{Mechanisms: 1}
+	s := Seeds{}
+	for d := 0.0; d < 10; d += 0.7 {
+		if !almostEq(p1.Yield(d), s.Yield(d), 1e-12) {
+			t.Errorf("Price(1) != Seeds at d=%v", d)
+		}
+	}
+	// Zero mechanisms defaults to 1.
+	if !almostEq(Price{}.Yield(2), s.Yield(2), 1e-12) {
+		t.Error("Price{} should default to one mechanism")
+	}
+}
+
+func TestNegBinomialLimits(t *testing.T) {
+	// λ → 0: approaches Poisson.
+	small := NegBinomial{Lambda: 1e-8}
+	p := Poisson{}
+	for d := 0.0; d < 5; d += 0.5 {
+		if !almostEq(small.Yield(d), p.Yield(d), 1e-5) {
+			t.Errorf("NB(λ→0) != Poisson at d=%v: %v vs %v", d, small.Yield(d), p.Yield(d))
+		}
+	}
+	// λ = 1: exactly Seeds.
+	one := NegBinomial{Lambda: 1}
+	s := Seeds{}
+	for d := 0.0; d < 5; d += 0.5 {
+		if !almostEq(one.Yield(d), s.Yield(d), 1e-12) {
+			t.Errorf("NB(1) != Seeds at d=%v", d)
+		}
+	}
+}
+
+func TestNegBinomialValidation(t *testing.T) {
+	if _, err := NewNegBinomial(0); err == nil {
+		t.Error("lambda 0 should error")
+	}
+	if _, err := NewNegBinomial(-2); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := NewNegBinomial(0.25); err != nil {
+		t.Errorf("valid lambda errored: %v", err)
+	}
+}
+
+func TestEq3PaperRegime(t *testing.T) {
+	// Eq. 3 with parameters that give the paper's LSI example yield of
+	// ~7%: verify round trip through DefectsForYield.
+	nb := NegBinomial{Lambda: 0.5}
+	d, err := DefectsForYield(nb, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Yield(d); !almostEq(got, 0.07, 1e-9) {
+		t.Errorf("round trip yield = %v, want 0.07", got)
+	}
+}
+
+func TestDefectsForYieldAllModels(t *testing.T) {
+	for _, m := range allModels() {
+		for _, y := range []float64{0.9, 0.5, 0.2, 0.07, 0.01} {
+			d, err := DefectsForYield(m, y)
+			if err != nil {
+				t.Fatalf("%s yield %v: %v", m.Name(), y, err)
+			}
+			if got := m.Yield(d); !almostEq(got, y, 1e-6) {
+				t.Errorf("%s: Yield(%v) = %v, want %v", m.Name(), d, got, y)
+			}
+		}
+	}
+}
+
+func TestDefectsForYieldEdges(t *testing.T) {
+	if d, err := DefectsForYield(Poisson{}, 1); err != nil || d != 0 {
+		t.Errorf("yield 1 should give 0 defects, got %v err %v", d, err)
+	}
+	if _, err := DefectsForYield(Poisson{}, 0); err == nil {
+		t.Error("yield 0 should error")
+	}
+	if _, err := DefectsForYield(Poisson{}, 1.2); err == nil {
+		t.Error("yield > 1 should error")
+	}
+}
+
+func TestDefectsForYieldRoundTripProperty(t *testing.T) {
+	prop := func(ry, rl uint8) bool {
+		y := 0.01 + float64(ry)/256*0.98
+		lambda := 0.1 + float64(rl)/256*4
+		m := NegBinomial{Lambda: lambda}
+		d, err := DefectsForYield(m, y)
+		return err == nil && almostEq(m.Yield(d), y, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleArea(t *testing.T) {
+	if got := ScaleArea(4, 0.25); !almostEq(got, 1, 1e-12) {
+		t.Errorf("ScaleArea = %v, want 1", got)
+	}
+}
+
+func TestShrinkRaisesYield(t *testing.T) {
+	// §8 of the paper: finer design rules shrink area, raising yield.
+	nb := NegBinomial{Lambda: 0.5}
+	d := 3.0
+	yFull := nb.Yield(d)
+	yShrunk := nb.Yield(ScaleArea(d, 0.5))
+	if yShrunk <= yFull {
+		t.Errorf("shrinking area should raise yield: %v vs %v", yShrunk, yFull)
+	}
+}
+
+func TestFitLambdaRecovers(t *testing.T) {
+	// Generate exact observations from a known λ and check recovery.
+	truth := NegBinomial{Lambda: 0.7}
+	var d0a, ys []float64
+	for d := 0.2; d <= 6; d += 0.4 {
+		d0a = append(d0a, d)
+		ys = append(ys, truth.Yield(d))
+	}
+	got, err := FitLambda(d0a, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 0.7, 0.01) {
+		t.Errorf("fitted lambda = %v, want 0.7", got)
+	}
+}
+
+func TestFitLambdaErrors(t *testing.T) {
+	if _, err := FitLambda([]float64{1}, []float64{0.5}); err == nil {
+		t.Error("single observation should error")
+	}
+	if _, err := FitLambda([]float64{1, 2}, []float64{0.5}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func BenchmarkNegBinomialYield(b *testing.B) {
+	nb := NegBinomial{Lambda: 0.5}
+	for i := 0; i < b.N; i++ {
+		nb.Yield(float64(i%100) / 10)
+	}
+}
+
+func BenchmarkDefectsForYield(b *testing.B) {
+	nb := NegBinomial{Lambda: 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := DefectsForYield(nb, 0.07); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

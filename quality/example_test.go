@@ -1,0 +1,69 @@
+package quality_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/quality"
+)
+
+// Example reproduces the paper's §7 headline in four lines.
+func Example() {
+	m, err := quality.NewModel(0.07, 8) // yield 7%, n0 = 8
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := m.RequiredCoverage(0.01) // 1% field reject rate
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("required coverage: %.0f%%\n", f*100)
+	// Output: required coverage: 80%
+}
+
+// ExampleFitN0 characterizes n0 from the paper's own Table 1 data.
+func ExampleFitN0() {
+	fit, err := quality.FitN0(quality.PaperTable1Curve(), quality.PaperTable1Yield())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n0 ≈ %.0f\n", fit.N0)
+	// Output: n0 ≈ 9
+}
+
+// ExampleSlopeN0 applies Eq. 10 to the first Table 1 row, reproducing
+// the paper's 8.8.
+func ExampleSlopeN0() {
+	slope, err := quality.SlopeN0(quality.PaperTable1Curve()[:1], 0.07, 0.06)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n0 = %.1f\n", slope.N0)
+	// Output: n0 = 8.8
+}
+
+// ExampleModel_RejectRate shows shipped quality at two coverages.
+func ExampleModel_RejectRate() {
+	m, err := quality.NewModel(0.07, 8.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f DPM at 80%%, %.0f DPM at 95%%\n",
+		quality.DefectLevelDPM(m.RejectRate(0.80)),
+		quality.DefectLevelDPM(m.RejectRate(0.95)))
+	// Output: 5154 DPM at 80%, 402 DPM at 95%
+}
+
+// ExampleCoverageSavings quantifies the gap to the Wadsack baseline.
+func ExampleCoverageSavings() {
+	m, err := quality.NewModel(0.07, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paper, wadsack, _, err := quality.CoverageSavings(m, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("this model %.1f%%, Wadsack %.1f%%\n", paper*100, wadsack*100)
+	// Output: this model 94.4%, Wadsack 99.9%
+}

@@ -1,0 +1,127 @@
+// Package quality is the public API of this repository: the
+// Agrawal-Seth-Agrawal (DAC 1981) model relating single-stuck-at fault
+// coverage to shipped-product quality, together with the estimation
+// procedure that characterizes the model from production test data.
+//
+// Quick start:
+//
+//	m, _ := quality.NewModel(0.07, 8.8)      // yield, n0
+//	r := m.RejectRate(0.95)                  // defect level at 95% coverage
+//	f, _ := m.RequiredCoverage(0.001)        // coverage for 1-in-1000
+//
+// To characterize n0 from a lot experiment (§5 of the paper), build a
+// fallout curve of (cumulative coverage, cumulative fraction failed)
+// points and fit it:
+//
+//	res, _ := quality.FitN0(curve, 0.07)
+//
+// The heavy substrates (netlist, logic/fault simulation, ATPG, the
+// wafer/ATE simulation) live under internal/; the runnable experiment
+// drivers are exposed through cmd/repro and the examples.
+package quality
+
+import (
+	"repro/internal/core"
+	"repro/internal/estimate"
+)
+
+// Model is the two-parameter quality model (Eq. 1-9 of the paper):
+// Y is the chip yield and N0 the mean number of faults on a defective
+// chip.
+type Model = core.Model
+
+// Wadsack is the single-fault baseline model of Wadsack (BSTJ 1978),
+// the paper's reference [5]: r = (1-y)(1-f).
+type Wadsack = core.Wadsack
+
+// GriffinMixed is Griffin's mixed-Poisson comparator (ICCC 1980), the
+// paper's reference [15].
+type GriffinMixed = core.GriffinMixed
+
+// QualityModel is the interface shared by all three models.
+type QualityModel = core.QualityModel
+
+// EscapeApprox selects the q0(n) approximation tier (Appendix A.1-A.3).
+type EscapeApprox = core.EscapeApprox
+
+// Escape approximation tiers.
+const (
+	EscapeExact     = core.EscapeExact
+	EscapeCorrected = core.EscapeCorrected
+	EscapeSimple    = core.EscapeSimple
+)
+
+// FalloutPoint is one lot-test observation: cumulative coverage F,
+// cumulative fraction of chips failed Fail.
+type FalloutPoint = estimate.FalloutPoint
+
+// Curve is an ordered fallout curve.
+type Curve = estimate.Curve
+
+// Result reports an n0 estimate.
+type Result = estimate.Result
+
+// NewModel validates and constructs a Model: yield in (0,1), n0 >= 1.
+func NewModel(y, n0 float64) (Model, error) { return core.New(y, n0) }
+
+// NewWadsack constructs the baseline model.
+func NewWadsack(y float64) (Wadsack, error) { return core.NewWadsack(y) }
+
+// NewGriffin constructs the mixed-Poisson comparator.
+func NewGriffin(y, theta float64) (GriffinMixed, error) { return core.NewGriffinMixed(y, theta) }
+
+// Q0 returns the probability that a chip with n of total faults escapes
+// a test covering m of them, under the chosen approximation.
+func Q0(n, m, total int, approx EscapeApprox) float64 { return core.Q0(n, m, total, approx) }
+
+// FitN0 estimates n0 by least-squares fit of the fallout curve
+// (the Fig. 5 family-of-curves method). Yield must be known.
+func FitN0(c Curve, yield float64) (Result, error) { return estimate.FitN0(c, yield) }
+
+// SlopeN0 estimates n0 from the origin slope (Eq. 10) using the
+// fallout points with coverage at most maxF. Pass yield = 0 when the
+// yield is unknown; the estimate is then pessimistic (safe).
+func SlopeN0(c Curve, yield, maxF float64) (Result, error) {
+	return estimate.SlopeN0(c, yield, maxF)
+}
+
+// FitN0AndYield jointly estimates (n0, yield) from a fallout curve that
+// extends far enough to expose the 1-y plateau.
+func FitN0AndYield(c Curve) (n0, yield float64, err error) { return estimate.FitN0AndYield(c) }
+
+// DefectLevelDPM converts a reject rate to defects-per-million.
+func DefectLevelDPM(r float64) float64 { return core.DefectLevelDPM(r) }
+
+// GoF is a chi-square goodness-of-fit report.
+type GoF = estimate.GoF
+
+// GoodnessOfFit tests a fitted model against binned lot counts:
+// cumCounts[i] chips had first-failed by coverages[i], out of total.
+// fittedParams is the number of parameters estimated from this data.
+func GoodnessOfFit(m Model, coverages []float64, cumCounts []int, total, fittedParams int) (GoF, error) {
+	return estimate.GoodnessOfFit(m, coverages, cumCounts, total, fittedParams)
+}
+
+// PaperTable1Counts returns the cumulative failed-chip counts of the
+// paper's Table 1 (matching PaperTable1Curve's checkpoints).
+func PaperTable1Counts() []int {
+	return append([]int(nil), estimate.PaperTable1.Counts...)
+}
+
+// PaperTable1Total returns the lot size of the paper's experiment.
+func PaperTable1Total() int { return estimate.PaperTable1.TotalChips }
+
+// CoverageSavings compares the paper's model against Wadsack at the
+// same yield and target reject rate.
+func CoverageSavings(m Model, r float64) (paper, wadsack, savings float64, err error) {
+	return core.CoverageSavings(m, r)
+}
+
+// PaperTable1Curve returns the paper's published Table 1 fallout data
+// (277 chips, yield ≈ 0.07) for experimentation.
+func PaperTable1Curve() Curve {
+	return append(Curve(nil), estimate.PaperTable1.Curve...)
+}
+
+// PaperTable1Yield returns the yield of the paper's example chip.
+func PaperTable1Yield() float64 { return estimate.PaperTable1.Yield }

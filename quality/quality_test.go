@@ -1,0 +1,128 @@
+package quality_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/quality"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The §7 workflow through the public API only.
+	curve := quality.PaperTable1Curve()
+	y := quality.PaperTable1Yield()
+	fit, err := quality.FitN0(curve, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.N0-8) > 1 {
+		t.Errorf("fit n0 = %v", fit.N0)
+	}
+	slope, err := quality.SlopeN0(curve[:1], y, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope.N0-8.8) > 0.05 {
+		t.Errorf("slope n0 = %v", slope.N0)
+	}
+	m, err := quality.NewModel(y, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.80) > 0.02 {
+		t.Errorf("required coverage %v", f)
+	}
+	paper, wadsack, savings, err := quality.CoverageSavings(m, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if savings <= 0 || paper >= wadsack {
+		t.Errorf("savings %v paper %v wadsack %v", savings, paper, wadsack)
+	}
+}
+
+func TestPublicQ0(t *testing.T) {
+	exact := quality.Q0(5, 500, 1000, quality.EscapeExact)
+	simple := quality.Q0(5, 500, 1000, quality.EscapeSimple)
+	if exact > simple {
+		t.Error("exact escape should not exceed simple approximation")
+	}
+	if math.Abs(simple-math.Pow(0.5, 5)) > 1e-12 {
+		t.Errorf("simple q0 = %v", simple)
+	}
+}
+
+func TestPublicModels(t *testing.T) {
+	var models []quality.QualityModel
+	m, err := quality.NewModel(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := quality.NewWadsack(0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := quality.NewGriffin(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, m, w, g)
+	for i, qm := range models {
+		if r := qm.RejectRate(0); math.Abs(r-0.93) > 1e-9 {
+			t.Errorf("model %d r(0) = %v", i, r)
+		}
+	}
+}
+
+func TestPublicDPM(t *testing.T) {
+	if quality.DefectLevelDPM(0.01) != 10000 {
+		t.Error("DPM conversion")
+	}
+}
+
+func TestPaperCurveIsACopy(t *testing.T) {
+	a := quality.PaperTable1Curve()
+	a[0].Fail = 0.999
+	b := quality.PaperTable1Curve()
+	if b[0].Fail == 0.999 {
+		t.Error("PaperTable1Curve must return a copy")
+	}
+}
+
+func TestPublicGoodnessOfFit(t *testing.T) {
+	m, err := quality.NewModel(0.07, 8.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := quality.PaperTable1Curve()
+	gof, err := quality.GoodnessOfFit(m, curve.Coverages(), quality.PaperTable1Counts(),
+		quality.PaperTable1Total(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.DF < 1 || gof.PValue < 0 || gof.PValue > 1 {
+		t.Errorf("gof = %+v", gof)
+	}
+}
+
+func TestJointFit(t *testing.T) {
+	m, err := quality.NewModel(0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve quality.Curve
+	for _, f := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 1} {
+		curve = append(curve, quality.FalloutPoint{F: f, Fail: m.Fallout(f)})
+	}
+	n0, y, err := quality.FitN0AndYield(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-0.15) > 0.02 || math.Abs(n0-7) > 0.3 {
+		t.Errorf("joint fit: n0 %v y %v", n0, y)
+	}
+}
