@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: verify build vet test smoke cover bench
+
+# Tier-1 verification plus vet: what CI runs.
+verify: build vet test smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Fast §7 headline check: the paper's numbers, nothing else.
+smoke:
+	$(GO) test -run 'TestHeadlines' ./internal/dist/
+
+# Statement coverage of the probability substrate, enforcing the 90% floor.
+cover:
+	@$(GO) test -coverprofile=/tmp/dist.cover ./internal/dist/
+	@$(GO) tool cover -func=/tmp/dist.cover | awk '/^total:/ { \
+		pct = $$3 + 0; printf "internal/dist statement coverage: %s\n", $$3; \
+		if (pct < 90) { print "FAIL: below the 90% floor"; exit 1 } }'
+
+# Reproduction log: one benchmark per table/figure of the paper.
+bench:
+	$(GO) test -bench=. -benchtime=1x .

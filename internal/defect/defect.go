@@ -10,6 +10,7 @@ package defect
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/fault"
@@ -163,6 +164,9 @@ func (m Model) CastFaults(rng *rand.Rand, total, ndefects int) []int {
 	for idx := range chosen {
 		out = append(out, idx)
 	}
+	// Map iteration order is randomized per process; sort so the same
+	// seed yields the same chip byte-for-byte across runs.
+	sort.Ints(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package defect
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/fault"
@@ -263,6 +264,32 @@ func BenchmarkGenerateLot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := GenerateLot(m, universe, 277, rng); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCastFaultsDeterministic: the same seed must produce the same
+// fault list byte-for-byte, including order — CastFaults collects from
+// a map, whose iteration order Go randomizes per process, so the
+// result must be sorted before returning. Without that, every
+// physical-lot experiment differs between runs of the same seed.
+func TestCastFaultsDeterministic(t *testing.T) {
+	m := Model{D0A: 2, FaultsPerDefect: 3, Locality: 0.6, Window: 8}
+	rng1 := rand.New(rand.NewSource(42))
+	rng2 := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		a := m.CastFaults(rng1, 500, 4)
+		b := m.CastFaults(rng2, 500, 4)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: order diverged at %d: %v vs %v", trial, i, a, b)
+			}
+		}
+		if !sort.IntsAreSorted(a) {
+			t.Fatalf("trial %d: result not sorted: %v", trial, a)
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewChipFaultCountValidation(t *testing.T) {
+	ok := []struct{ y, n0 float64 }{
+		{0.07, 8},
+		{0.5, 1},
+		{0.999, 30},
+	}
+	for _, c := range ok {
+		d, err := NewChipFaultCount(c.y, c.n0)
+		if err != nil {
+			t.Errorf("NewChipFaultCount(%v, %v): unexpected error %v", c.y, c.n0, err)
+			continue
+		}
+		if d.Y != c.y || d.Defective.N0 != c.n0 {
+			t.Errorf("NewChipFaultCount(%v, %v) = %+v", c.y, c.n0, d)
+		}
+	}
+	bad := []struct{ y, n0 float64 }{
+		{0, 8}, {1, 8}, {-0.1, 8}, {1.5, 8}, {math.NaN(), 8}, {math.Inf(1), 8},
+		{0.5, 0.99}, {0.5, 0}, {0.5, -1}, {0.5, math.NaN()}, {0.5, math.Inf(1)},
+	}
+	for _, c := range bad {
+		if _, err := NewChipFaultCount(c.y, c.n0); err == nil {
+			t.Errorf("NewChipFaultCount(%v, %v): want error", c.y, c.n0)
+		}
+	}
+}
+
+// TestChipFaultCountEq1 checks both clauses of Eq. 1: the atom at zero
+// is the yield, and the tail is the shifted Poisson scaled by 1-Y.
+func TestChipFaultCountEq1(t *testing.T) {
+	d, err := NewChipFaultCount(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PMF(0) != 0.07 {
+		t.Errorf("P(0) = %v, want the yield 0.07", d.PMF(0))
+	}
+	if d.PMF(-1) != 0 {
+		t.Errorf("P(-1) = %v", d.PMF(-1))
+	}
+	sp := ShiftedPoisson{N0: 8}
+	for n := 1; n <= 40; n++ {
+		want := 0.93 * sp.PMF(n)
+		if got := d.PMF(n); math.Abs(got-want) > 1e-15 {
+			t.Errorf("P(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestChipFaultCountMoments(t *testing.T) {
+	d, _ := NewChipFaultCount(0.3, 6)
+	// nav = (1-Y) N0, the paper's Eq. 2.
+	if want := 0.7 * 6.0; math.Abs(d.Mean()-want) > 1e-15 {
+		t.Errorf("Mean = %v, want %v", d.Mean(), want)
+	}
+	var mean, m2 float64
+	for n := 0; n <= 200; n++ {
+		p := d.PMF(n)
+		mean += float64(n) * p
+		m2 += float64(n) * float64(n) * p
+	}
+	if math.Abs(mean-d.Mean()) > 1e-9 {
+		t.Errorf("PMF mean %v, Mean() %v", mean, d.Mean())
+	}
+	if v := m2 - mean*mean; math.Abs(v-d.Variance()) > 1e-8 {
+		t.Errorf("PMF variance %v, Variance() %v", v, d.Variance())
+	}
+}
+
+func TestChipFaultCountCDFQuantile(t *testing.T) {
+	d, _ := NewChipFaultCount(0.4, 5)
+	if d.CDF(-1) != 0 {
+		t.Errorf("CDF(-1) = %v", d.CDF(-1))
+	}
+	if d.CDF(0) != 0.4 {
+		t.Errorf("CDF(0) = %v, want the yield", d.CDF(0))
+	}
+	sum := 0.0
+	for n := 0; n <= 30; n++ {
+		sum += d.PMF(n)
+		if math.Abs(d.CDF(n)-sum) > 1e-10 {
+			t.Fatalf("CDF(%d) = %v, Σpmf = %v", n, d.CDF(n), sum)
+		}
+	}
+	if q := d.Quantile(0.2); q != 0 {
+		t.Errorf("Quantile below the atom = %d, want 0", q)
+	}
+	if q := d.Quantile(0.4); q != 0 {
+		t.Errorf("Quantile at the atom = %d, want 0", q)
+	}
+	for _, p := range []float64{0.41, 0.7, 0.95, 0.999} {
+		q := d.Quantile(p)
+		if d.CDF(q) < p || (q > 0 && d.CDF(q-1) >= p) {
+			t.Errorf("Quantile(%v) = %d not the minimal crossing", p, q)
+		}
+	}
+	mustPanic(t, func() { d.Quantile(1) })
+}
+
+// TestChipFaultCountSample checks the mixture sampler: the zero
+// fraction estimates the yield and nonzero draws are at least 1.
+func TestChipFaultCountSample(t *testing.T) {
+	d, _ := NewChipFaultCount(0.07, 8)
+	rng := rand.New(rand.NewSource(13))
+	const n = 100000
+	zeros, sum := 0, 0.0
+	for i := 0; i < n; i++ {
+		k := d.Sample(rng)
+		if k == 0 {
+			zeros++
+		} else if k < 1 {
+			t.Fatalf("defective draw %d < 1", k)
+		}
+		sum += float64(k)
+	}
+	if yHat := float64(zeros) / n; math.Abs(yHat-0.07) > 0.005 {
+		t.Errorf("empirical yield %v, want ≈ 0.07", yHat)
+	}
+	se := math.Sqrt(d.Variance() / n)
+	if mean := sum / n; math.Abs(mean-d.Mean()) > 5*se {
+		t.Errorf("sample mean %v, want %v ± %v", mean, d.Mean(), 5*se)
+	}
+}
+
+func TestChipFaultCountInvalidPanics(t *testing.T) {
+	bad := ChipFaultCount{Y: 0, Defective: ShiftedPoisson{N0: 8}}
+	mustPanic(t, func() { bad.PMF(0) })
+	badN0 := ChipFaultCount{Y: 0.5, Defective: ShiftedPoisson{N0: 0.2}}
+	mustPanic(t, func() { badN0.Mean() })
+	good, _ := NewChipFaultCount(0.5, 2)
+	mustPanic(t, func() { good.Sample(nil) })
+}

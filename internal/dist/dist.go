@@ -1,0 +1,109 @@
+// Package dist implements the discrete probability distributions the
+// paper's model is built from:
+//
+//   - Poisson — physical defect counts per chip (mean D0·A);
+//   - NegativeBinomial — clustered (gamma-mixed Poisson) defect counts,
+//     the Stapper yield picture behind Eq. 3;
+//   - ShiftedPoisson — the number of logical faults on a *defective*
+//     chip, Eq. 1's n >= 1 clause: mean N0, support {1, 2, ...};
+//   - Hypergeometric — the urn model of Eq. 4 whose zero class is the
+//     exact escape probability q0(n);
+//   - ChipFaultCount — the full Eq. 1 mixture: P(0) = Y and a
+//     shifted-Poisson tail scaled by 1-Y.
+//
+// All PMFs are evaluated in log space via the Lanczos log-gamma in
+// internal/numeric — no factorials or raw binomial coefficients are
+// ever formed, so the PMFs stay finite and accurate far beyond where a
+// naive product would overflow. Every distribution exposes Mean,
+// Variance, CDF and Quantile alongside PMF and Sample so downstream
+// estimators and simulators never reimplement moments.
+//
+// Sampling takes an explicit *rand.Rand so callers control seeding;
+// given the same seed, every sampler reproduces the same draw sequence
+// (locked in by the determinism tests in this package).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// maxQuantileScan bounds the support scan in quantile searches; it is a
+// safety net against a numerically stuck CDF, far above any fault count
+// the model produces.
+const maxQuantileScan = 1 << 22
+
+// quantileScan returns the smallest k >= 0 with cdf(k) >= p, scanning
+// the support upward. All distributions here concentrate near their
+// mean (fault counts of tens, not millions), so a linear scan is both
+// simple and fast. p must lie in [0, 1). Use it only with O(1) CDFs;
+// summed CDFs go through quantilePMFScan instead.
+func quantileScan(p float64, cdf func(int) float64) int {
+	checkQuantileP(p)
+	for k := 0; k < maxQuantileScan; k++ {
+		if cdf(k) >= p {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("dist: quantile scan did not reach p=%v", p))
+}
+
+// zeroTailRun is how many consecutive zero-PMF support points the
+// quantile scan tolerates after seeing mass before concluding the
+// distribution is exhausted. A floating-point CDF can max out strictly
+// below a p very close to 1; the quantile is then the top of the
+// effective support, not a panic.
+const zeroTailRun = 1024
+
+// quantilePMFScan is quantileScan for distributions whose CDF is itself
+// a PMF sum: it accumulates the mass in a single pass instead of
+// re-summing from zero at every step. If the accumulated mass never
+// reaches p (bounded support, or an unbounded tail that has underflowed),
+// it returns the last support point carrying mass.
+func quantilePMFScan(p float64, pmf func(int) float64) int {
+	checkQuantileP(p)
+	var sum numeric.KahanSum
+	lastPositive, zeros := 0, 0
+	for k := 0; k < maxQuantileScan; k++ {
+		mass := pmf(k)
+		sum.Add(mass)
+		if sum.Sum() >= p {
+			return k
+		}
+		if mass > 0 {
+			lastPositive, zeros = k, 0
+		} else if sum.Sum() > 0 {
+			if zeros++; zeros >= zeroTailRun {
+				return lastPositive
+			}
+		}
+	}
+	panic(fmt.Sprintf("dist: quantile scan did not reach p=%v", p))
+}
+
+func checkQuantileP(p float64) {
+	if !(p >= 0 && p < 1) {
+		panic(fmt.Sprintf("dist: quantile probability must be in [0,1), got %v", p))
+	}
+}
+
+// sumPMF accumulates pmf(0..k) with compensated summation, clamped to
+// [0, 1]; shared by the CDFs that have no cheap closed form.
+func sumPMF(k int, pmf func(int) float64) float64 {
+	var sum numeric.KahanSum
+	for i := 0; i <= k; i++ {
+		sum.Add(pmf(i))
+	}
+	return math.Min(sum.Sum(), 1)
+}
+
+// checkRNG panics when a sampler is called without a generator; a nil
+// rng would otherwise surface as an opaque panic inside math/rand.
+func checkRNG(rng *rand.Rand) {
+	if rng == nil {
+		panic("dist: Sample requires a non-nil *rand.Rand")
+	}
+}

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNewChipFaultCount: for arbitrary (y, n0) the constructor either
+// rejects or returns a distribution whose basic invariants hold.
+func FuzzNewChipFaultCount(f *testing.F) {
+	f.Add(0.07, 8.0)
+	f.Add(0.5, 1.0)
+	f.Add(0.0, 1.0)
+	f.Add(1.0, 2.0)
+	f.Add(-1.0, math.NaN())
+	f.Add(0.999, 1e6)
+	f.Fuzz(func(t *testing.T, y, n0 float64) {
+		d, err := NewChipFaultCount(y, n0)
+		if err != nil {
+			if d != (ChipFaultCount{}) {
+				t.Errorf("error path must return the zero value, got %+v", d)
+			}
+			return
+		}
+		if !(y > 0 && y < 1) || !(n0 >= 1) || math.IsInf(n0, 1) {
+			t.Fatalf("constructor accepted invalid (y=%v, n0=%v)", y, n0)
+		}
+		if d.PMF(0) != y {
+			t.Errorf("PMF(0) = %v, want %v", d.PMF(0), y)
+		}
+		if m := d.Mean(); !(m >= 0) || math.IsNaN(m) {
+			t.Errorf("Mean = %v", m)
+		}
+		if v := d.Variance(); !(v >= 0) || math.IsNaN(v) {
+			t.Errorf("Variance = %v", v)
+		}
+		if p := d.PMF(1); !(p >= 0 && p <= 1) {
+			t.Errorf("PMF(1) = %v outside [0,1]", p)
+		}
+	})
+}
+
+// FuzzPoissonPMFCDF: for arbitrary rates and support points the PMF
+// stays a probability, the CDF stays a monotone probability, and the
+// quantile inverts the CDF.
+func FuzzPoissonPMFCDF(f *testing.F) {
+	f.Add(2.5, 3)
+	f.Add(0.0, 0)
+	f.Add(1e4, 10000)
+	f.Add(0.001, -5)
+	f.Fuzz(func(t *testing.T, lambda float64, k int) {
+		if !(lambda >= 0) || math.IsInf(lambda, 1) || lambda > 1e6 {
+			return // invalid or absurd rates are covered by the panic tests
+		}
+		if k > 1<<20 || k < -1<<20 {
+			return
+		}
+		d := Poisson{Lambda: lambda}
+		p := d.PMF(k)
+		if !(p >= 0 && p <= 1) || math.IsNaN(p) {
+			t.Fatalf("PMF(%d) = %v at λ=%v", k, p, lambda)
+		}
+		c := d.CDF(k)
+		if !(c >= 0 && c <= 1+1e-12) || math.IsNaN(c) {
+			t.Fatalf("CDF(%d) = %v at λ=%v", k, c, lambda)
+		}
+		if k >= 0 && c < p-1e-12 {
+			t.Fatalf("CDF(%d) = %v < PMF(%d) = %v at λ=%v", k, c, k, p, lambda)
+		}
+		if prev := d.CDF(k - 1); prev > c+1e-12 {
+			t.Fatalf("CDF not monotone at %d: %v after %v (λ=%v)", k, c, prev, lambda)
+		}
+	})
+}
+
+// FuzzHypergeometricPZero: for any valid urn the exact escape
+// probability is a probability and agrees with the direct product.
+func FuzzHypergeometricPZero(f *testing.F) {
+	f.Add(100, 8, 40)
+	f.Add(1, 0, 0)
+	f.Add(10, 10, 10)
+	f.Add(5000, 25, 2500)
+	f.Fuzz(func(t *testing.T, n, k, m int) {
+		if n <= 0 || n > 5000 || k < 0 || k > n || m < 0 || m > n {
+			return // invalid urns are covered by the panic tests
+		}
+		d := Hypergeometric{N: n, K: k, M: m}
+		p := d.PZeroExact()
+		if !(p >= 0 && p <= 1) || math.IsNaN(p) {
+			t.Fatalf("PZeroExact = %v for %+v", p, d)
+		}
+		prod := 1.0
+		for i := 0; i < k; i++ {
+			prod *= float64(n-m-i) / float64(n-i)
+		}
+		if prod < 0 {
+			prod = 0
+		}
+		if math.Abs(p-prod) > 1e-9 {
+			t.Fatalf("PZeroExact = %v, product = %v for %+v", p, prod, d)
+		}
+	})
+}

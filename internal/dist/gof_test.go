@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// chiSquareGOF draws n samples under a fixed seed, bins them so every
+// expected count is at least 5 (merging the tail), and returns the
+// chi-square p-value of the fit against the PMF.
+func chiSquareGOF(t *testing.T, d discrete, seed int64, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	top := d.Quantile(1 - 1e-9)
+	counts := make([]int, top+1)
+	tailObs := 0
+	for i := 0; i < n; i++ {
+		k := d.Sample(rng)
+		if k <= top {
+			counts[k]++
+		} else {
+			tailObs++
+		}
+	}
+	// Merge consecutive support points until each bin expects >= 5.
+	var obs, exp []float64
+	var curObs, curExp float64
+	for k := 0; k <= top; k++ {
+		curObs += float64(counts[k])
+		curExp += float64(n) * d.PMF(k)
+		if curExp >= 5 {
+			obs = append(obs, curObs)
+			exp = append(exp, curExp)
+			curObs, curExp = 0, 0
+		}
+	}
+	// Whatever remains, plus everything above top, is one tail bin.
+	curObs += float64(tailObs)
+	curExp += float64(n) * (1 - d.CDF(top))
+	if len(exp) > 0 && curExp < 5 {
+		obs[len(obs)-1] += curObs
+		exp[len(exp)-1] += curExp
+	} else {
+		obs = append(obs, curObs)
+		exp = append(exp, curExp)
+	}
+	if len(exp) < 2 {
+		t.Fatalf("degenerate binning: %d bins", len(exp))
+	}
+	var stat float64
+	for i := range exp {
+		diff := obs[i] - exp[i]
+		stat += diff * diff / exp[i]
+	}
+	return numeric.ChiSquareSurvival(stat, len(exp)-1)
+}
+
+// TestSamplersGoodnessOfFit: under fixed seeds every sampler passes a
+// chi-square goodness-of-fit test against its own PMF at the 0.1%
+// level. A failure means the sampler is drawing from the wrong law.
+func TestSamplersGoodnessOfFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling-heavy")
+	}
+	for _, c := range propCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p := chiSquareGOF(t, c.d, 20260729, 50000)
+			if p < 1e-3 {
+				t.Errorf("chi-square p-value %v < 0.001: sampler does not match PMF", p)
+			}
+		})
+	}
+}
+
+// TestGOFDetectsWrongLaw: the harness itself must reject a sampler
+// drawing from a visibly different distribution, or the test above
+// proves nothing.
+func TestGOFDetectsWrongLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling-heavy")
+	}
+	// Samples from Poisson(4) scored against Poisson(3)'s PMF.
+	wrong := mislabeledPoisson{draw: Poisson{Lambda: 4}, score: Poisson{Lambda: 3}}
+	if p := chiSquareGOF(t, wrong, 20260729, 50000); p > 1e-6 {
+		t.Errorf("chi-square failed to reject a mislabeled sampler (p = %v)", p)
+	}
+}
+
+// mislabeledPoisson samples one Poisson but reports another's PMF —
+// a deliberately broken distribution for validating the GOF harness.
+type mislabeledPoisson struct {
+	draw, score Poisson
+}
+
+func (m mislabeledPoisson) PMF(k int) float64         { return m.score.PMF(k) }
+func (m mislabeledPoisson) CDF(k int) float64         { return m.score.CDF(k) }
+func (m mislabeledPoisson) Quantile(p float64) int    { return m.score.Quantile(p) }
+func (m mislabeledPoisson) Mean() float64             { return m.score.Mean() }
+func (m mislabeledPoisson) Variance() float64         { return m.score.Variance() }
+func (m mislabeledPoisson) Sample(rng *rand.Rand) int { return m.draw.Sample(rng) }

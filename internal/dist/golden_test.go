@@ -1,0 +1,102 @@
+// Golden tests tying the dist layer through core to the paper's §7
+// headline numbers. They live in package dist_test so they can import
+// core (which itself imports dist) without a cycle.
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestHeadlines reproduces §7: for the paper's LSI chip (yield 0.07,
+// n0 = 8), a 1% field reject rate needs about 80% fault coverage and
+// 0.1% needs about 95%.
+func TestHeadlines(t *testing.T) {
+	m, err := core.New(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.RequiredCoverage(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1-0.80) > 0.01 {
+		t.Errorf("coverage for r=1%%: got %.4f, paper says ≈ 0.80", f1)
+	}
+	f01, err := m.RequiredCoverage(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f01-0.95) > 0.01 {
+		t.Errorf("coverage for r=0.1%%: got %.4f, paper says ≈ 0.95", f01)
+	}
+	// The inversions must be consistent with the forward reject rate.
+	if r := m.RejectRate(f1); math.Abs(r-0.01) > 1e-9 {
+		t.Errorf("RejectRate(RequiredCoverage(0.01)) = %v", r)
+	}
+}
+
+// TestFaultCountFeedsCore: the Eq. 1 mixture produced by the model is
+// the dist mixture — atom at zero equal to the yield, nav of Eq. 2 as
+// the mean, and a normalised PMF.
+func TestFaultCountFeedsCore(t *testing.T) {
+	m, err := core.New(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.FaultCount()
+	if fc.PMF(0) != 0.07 {
+		t.Errorf("P(0) = %v, want the yield", fc.PMF(0))
+	}
+	if nav := fc.Mean(); math.Abs(nav-m.Nav()) > 1e-15 {
+		t.Errorf("mixture mean %v, Nav() %v", nav, m.Nav())
+	}
+	var sum float64
+	for n := 0; n <= 100; n++ {
+		sum += fc.PMF(n)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Eq. 1 PMF sums to %v", sum)
+	}
+}
+
+// TestSummedYbgMatchesClosedForm: summing Eq. 6 with the simple escape
+// approximation over a large fault universe converges to the closed
+// form of Eq. 7 — the bridge from the dist-level urn model to the
+// paper's headline equations.
+func TestSummedYbgMatchesClosedForm(t *testing.T) {
+	m, err := core.New(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0.1, 0.5, 0.8, 0.95} {
+		closed := m.Ybg(f)
+		summed := m.YbgSummed(f, 20000, core.EscapeSimple)
+		if math.Abs(summed-closed) > 1e-3*math.Max(closed, 1e-6) {
+			t.Errorf("f=%v: Eq.6 sum %v vs Eq.7 closed form %v", f, summed, closed)
+		}
+		// The exact urn model agrees with the simple approximation in
+		// this regime (n² << N(1-f)/f for the fault counts that matter).
+		exact := m.YbgSummed(f, 20000, core.EscapeExact)
+		if closed > 1e-9 && math.Abs(exact-summed)/closed > 0.01 {
+			t.Errorf("f=%v: exact %v vs simple %v diverge", f, exact, summed)
+		}
+	}
+}
+
+// TestEscapeTiersAgree: the three escape tiers of the Appendix rank and
+// agree where they should — spot checks straight on dist.Hypergeometric.
+func TestEscapeTiersAgree(t *testing.T) {
+	const total, m = 10000, 5000
+	for _, n := range []int{1, 4, 12} {
+		h := dist.Hypergeometric{N: total, K: n, M: m}
+		exact := h.PZeroExact()
+		simple := math.Pow(0.5, float64(n))
+		if rel := math.Abs(exact-simple) / simple; rel > 0.01 {
+			t.Errorf("n=%d: exact %v vs simple %v, rel %v", n, exact, simple, rel)
+		}
+	}
+}

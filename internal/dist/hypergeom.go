@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// Hypergeometric is the urn model of the paper's Eq. 4: a chip carries
+// K of the N possible faults, the test set detects M of the N, and X is
+// how many of the chip's K faults the test detects. The chip escapes
+// exactly when X = 0; PZeroExact is that probability, the exact q0(n)
+// of Eq. A.1 with n = K and coverage f = M/N.
+type Hypergeometric struct {
+	N int // size of the fault universe, > 0
+	K int // faults carried by the chip, in [0, N]
+	M int // faults detected by the test set, in [0, N]
+}
+
+func (d Hypergeometric) check() {
+	if d.N <= 0 || d.K < 0 || d.K > d.N || d.M < 0 || d.M > d.N {
+		panic(fmt.Sprintf("dist: invalid Hypergeometric N=%d K=%d M=%d", d.N, d.K, d.M))
+	}
+}
+
+// Mean returns E[X] = M·K/N.
+func (d Hypergeometric) Mean() float64 {
+	d.check()
+	return float64(d.M) * float64(d.K) / float64(d.N)
+}
+
+// Variance returns Var[X] = M (K/N)(1-K/N)(N-M)/(N-1).
+func (d Hypergeometric) Variance() float64 {
+	d.check()
+	if d.N == 1 {
+		return 0
+	}
+	p := float64(d.K) / float64(d.N)
+	return float64(d.M) * p * (1 - p) * float64(d.N-d.M) / float64(d.N-1)
+}
+
+// LogPMF returns ln P(X = k), or -Inf outside the support
+// [max(0, M+K-N), min(K, M)]:
+//
+//	P(k) = C(K,k) C(N-K, M-k) / C(N, M).
+func (d Hypergeometric) LogPMF(k int) float64 {
+	d.check()
+	if k < 0 || k > d.K || k > d.M || d.M-k > d.N-d.K {
+		return math.Inf(-1)
+	}
+	return numeric.LogChoose(d.K, k) + numeric.LogChoose(d.N-d.K, d.M-k) - numeric.LogChoose(d.N, d.M)
+}
+
+// PMF returns P(X = k).
+func (d Hypergeometric) PMF(k int) float64 { return math.Exp(d.LogPMF(k)) }
+
+// PZeroExact returns P(X = 0) = C(N-M, K)/C(N, K), the exact escape
+// probability of Eq. 4 / Eq. A.1, evaluated through log-gamma so it
+// neither overflows nor loses the tiny tail for large universes.
+func (d Hypergeometric) PZeroExact() float64 {
+	d.check()
+	if d.K == 0 || d.M == 0 {
+		return 1
+	}
+	if d.K > d.N-d.M {
+		return 0 // more chip faults than undetected slots: escape impossible
+	}
+	return math.Exp(numeric.LogChoose(d.N-d.M, d.K) - numeric.LogChoose(d.N, d.K))
+}
+
+// CDF returns P(X <= k).
+func (d Hypergeometric) CDF(k int) float64 {
+	d.check()
+	return sumPMF(k, d.PMF)
+}
+
+// Quantile returns the smallest k with CDF(k) >= p, for p in [0, 1).
+func (d Hypergeometric) Quantile(p float64) int {
+	d.check()
+	return quantilePMFScan(p, d.PMF)
+}
+
+// Sample draws one overlap count by inverse-transform over the PMF.
+func (d Hypergeometric) Sample(rng *rand.Rand) int {
+	d.check()
+	checkRNG(rng)
+	u := rng.Float64()
+	var cum float64
+	hi := d.K
+	if d.M < hi {
+		hi = d.M
+	}
+	for k := 0; k < hi; k++ {
+		cum += d.PMF(k)
+		if u < cum {
+			return k
+		}
+	}
+	return hi
+}

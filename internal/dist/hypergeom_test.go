@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPZeroExactMatchesProduct checks the log-gamma evaluation against
+// the direct combinatorial product of Eq. A.1:
+// q0 = Π_{i=0}^{K-1} (N-M-i)/(N-i).
+func TestPZeroExactMatchesProduct(t *testing.T) {
+	cases := []Hypergeometric{
+		{N: 10, K: 3, M: 4},
+		{N: 100, K: 8, M: 40},
+		{N: 5000, K: 25, M: 2500},
+		{N: 200, K: 1, M: 199},
+		{N: 50, K: 50, M: 0},
+	}
+	for _, d := range cases {
+		prod := 1.0
+		for i := 0; i < d.K; i++ {
+			prod *= float64(d.N-d.M-i) / float64(d.N-i)
+		}
+		got := d.PZeroExact()
+		if math.Abs(got-prod) > 1e-12*math.Max(1, prod) {
+			t.Errorf("%+v: PZeroExact = %v, product = %v", d, got, prod)
+		}
+		// The zero class of the PMF is the same quantity.
+		if pmf0 := d.PMF(0); math.Abs(got-pmf0) > 1e-12 {
+			t.Errorf("%+v: PZeroExact = %v, PMF(0) = %v", d, got, pmf0)
+		}
+	}
+}
+
+// TestPZeroExactConvergesToSimple: for a large universe the exact urn
+// probability converges to the Eq. 5 approximation (1-f)^n the closed
+// forms are built on.
+func TestPZeroExactConvergesToSimple(t *testing.T) {
+	const f = 0.4
+	for _, n := range []int{1, 3, 8, 20} {
+		total := 1 << 20
+		m := int(f * float64(total))
+		d := Hypergeometric{N: total, K: n, M: m}
+		realized := float64(m) / float64(total) // realized coverage after rounding m
+		simple := math.Pow(1-realized, float64(n))
+		// Eq. A.2 bounds the relative gap by f·n(n-1)/(2N(1-f)).
+		bound := 2 * f * float64(n) * float64(n-1) / (2 * float64(total) * (1 - f))
+		if rel := math.Abs(d.PZeroExact()-simple) / simple; rel > bound+1e-9 {
+			t.Errorf("n=%d: exact %v vs (1-f)^n %v, rel err %v", n, d.PZeroExact(), simple, rel)
+		}
+	}
+	// And for a small universe they must visibly differ (the paper's
+	// point about when Eq. 5 applies: n² << N(1-f)/f).
+	d := Hypergeometric{N: 30, K: 10, M: 15}
+	simple := math.Pow(0.5, 10)
+	if math.Abs(d.PZeroExact()-simple)/simple < 0.5 {
+		t.Errorf("small-universe exact %v should differ from %v", d.PZeroExact(), simple)
+	}
+}
+
+func TestHypergeometricEdgeCases(t *testing.T) {
+	if p := (Hypergeometric{N: 10, K: 0, M: 5}).PZeroExact(); p != 1 {
+		t.Errorf("fault-free chip must always escape, got %v", p)
+	}
+	if p := (Hypergeometric{N: 10, K: 4, M: 0}).PZeroExact(); p != 1 {
+		t.Errorf("empty test must always pass the chip, got %v", p)
+	}
+	if p := (Hypergeometric{N: 10, K: 5, M: 6}).PZeroExact(); p != 0 {
+		t.Errorf("more faults than undetected slots cannot escape, got %v", p)
+	}
+	if p := (Hypergeometric{N: 10, K: 10, M: 1}).PZeroExact(); p != 0 {
+		t.Errorf("full-universe chip under any testing cannot escape, got %v", p)
+	}
+}
+
+func TestHypergeometricPMFMomentsAndCDF(t *testing.T) {
+	d := Hypergeometric{N: 60, K: 12, M: 25}
+	var sum, mean, m2 float64
+	for k := 0; k <= d.K; k++ {
+		p := d.PMF(k)
+		sum += p
+		mean += float64(k) * p
+		m2 += float64(k) * float64(k) * p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if math.Abs(mean-d.Mean()) > 1e-9 {
+		t.Errorf("PMF mean %v, Mean() %v", mean, d.Mean())
+	}
+	if v := m2 - mean*mean; math.Abs(v-d.Variance()) > 1e-9 {
+		t.Errorf("PMF variance %v, Variance() %v", v, d.Variance())
+	}
+	if d.PMF(-1) != 0 || d.PMF(d.K+1) != 0 || d.CDF(-1) != 0 {
+		t.Errorf("mass outside the support")
+	}
+	if c := d.CDF(d.K); math.Abs(c-1) > 1e-10 {
+		t.Errorf("CDF at top of support = %v", c)
+	}
+	for _, p := range []float64{0, 0.3, 0.9} {
+		q := d.Quantile(p)
+		if d.CDF(q) < p {
+			t.Errorf("Quantile(%v) = %d below crossing", p, q)
+		}
+	}
+}
+
+// TestHypergeometricLowerSupportBound: when the test covers almost the
+// whole universe, small overlaps are impossible (k >= M+K-N).
+func TestHypergeometricLowerSupportBound(t *testing.T) {
+	d := Hypergeometric{N: 10, K: 6, M: 8}
+	for k := 0; k < d.M+d.K-d.N; k++ {
+		if p := d.PMF(k); p != 0 {
+			t.Errorf("PMF(%d) = %v, want 0 (below support)", k, p)
+		}
+	}
+	if p := d.PMF(d.M + d.K - d.N); p <= 0 {
+		t.Errorf("PMF at lower support bound = %v, want > 0", p)
+	}
+}
+
+func TestHypergeometricSample(t *testing.T) {
+	d := Hypergeometric{N: 100, K: 8, M: 40}
+	rng := rand.New(rand.NewSource(9))
+	const n = 60000
+	var sum float64
+	for i := 0; i < n; i++ {
+		k := d.Sample(rng)
+		if k < 0 || k > d.K || k > d.M {
+			t.Fatalf("sample %d outside support", k)
+		}
+		sum += float64(k)
+	}
+	mean := sum / n
+	se := math.Sqrt(d.Variance() / n)
+	if math.Abs(mean-d.Mean()) > 5*se {
+		t.Errorf("sample mean %v, want %v ± %v", mean, d.Mean(), 5*se)
+	}
+}
+
+func TestHypergeometricInvalidPanics(t *testing.T) {
+	bad := []Hypergeometric{
+		{N: 0, K: 0, M: 0},
+		{N: -5, K: 0, M: 0},
+		{N: 10, K: -1, M: 5},
+		{N: 10, K: 11, M: 5},
+		{N: 10, K: 5, M: -1},
+		{N: 10, K: 5, M: 11},
+	}
+	for _, d := range bad {
+		d := d
+		mustPanic(t, func() { d.PZeroExact() })
+		mustPanic(t, func() { d.PMF(0) })
+		mustPanic(t, func() { d.Mean() })
+	}
+	mustPanic(t, func() { Hypergeometric{N: 10, K: 2, M: 3}.Sample(nil) })
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+)
+
+// NegativeBinomial is the negative binomial distribution parameterised
+// by shape R > 0 and mean Mu >= 0: a Poisson whose mean is gamma
+// distributed with shape R and mean Mu. This is the clustered-defect
+// count model behind Stapper's yield formula (the paper's Eq. 3):
+// small R means strongly clustered defects, and R -> Inf recovers the
+// plain Poisson.
+type NegativeBinomial struct {
+	R  float64 // clustering shape, > 0
+	Mu float64 // mean defects per chip, >= 0
+}
+
+func (d NegativeBinomial) check() {
+	if !(d.R > 0) || math.IsInf(d.R, 1) {
+		panic(fmt.Sprintf("dist: NegativeBinomial shape must be finite and > 0, got %v", d.R))
+	}
+	if !(d.Mu >= 0) || math.IsInf(d.Mu, 1) {
+		panic(fmt.Sprintf("dist: NegativeBinomial mean must be finite and >= 0, got %v", d.Mu))
+	}
+}
+
+// successProb returns p = R / (R + Mu), the per-trial success
+// probability of the classical parameterisation.
+func (d NegativeBinomial) successProb() float64 { return d.R / (d.R + d.Mu) }
+
+// Mean returns E[X] = Mu.
+func (d NegativeBinomial) Mean() float64 { d.check(); return d.Mu }
+
+// Variance returns Var[X] = Mu + Mu²/R, always overdispersed relative
+// to the Poisson.
+func (d NegativeBinomial) Variance() float64 { d.check(); return d.Mu + d.Mu*d.Mu/d.R }
+
+// LogPMF returns ln P(X = k), or -Inf outside the support:
+//
+//	P(k) = Γ(k+R)/(k! Γ(R)) p^R (1-p)^k,  p = R/(R+Mu).
+func (d NegativeBinomial) LogPMF(k int) float64 {
+	d.check()
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	if d.Mu == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	// Both log terms avoid forming p = R/(R+Mu), which rounds to
+	// exactly 1 for R >> Mu: log p = -log1p(Mu/R) keeps the success
+	// term's full -Mu-ish magnitude, and log(1-p) is written directly
+	// as log(Mu/(R+Mu)) so the failure term never becomes 0·(-Inf).
+	kk := float64(k)
+	return d.logGammaRatio(k) - numeric.LogFactorial(k) -
+		d.R*math.Log1p(d.Mu/d.R) + kk*math.Log(d.Mu/(d.R+d.Mu))
+}
+
+// logGammaRatio returns ln[Γ(k+R)/Γ(R)]. For huge shapes the two
+// log-gammas are ~R·ln R while their difference is only ~k·ln R, so
+// subtracting them cancels catastrophically; there the ratio is summed
+// directly as Σ ln(R+i), which is exact to rounding.
+func (d NegativeBinomial) logGammaRatio(k int) float64 {
+	if d.R < 1e7 {
+		return numeric.LogGamma(float64(k)+d.R) - numeric.LogGamma(d.R)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += math.Log(d.R + float64(i))
+	}
+	return sum
+}
+
+// PMF returns P(X = k).
+func (d NegativeBinomial) PMF(k int) float64 { return math.Exp(d.LogPMF(k)) }
+
+// CDF returns P(X <= k) by compensated summation of the PMF; the
+// counts this repository deals in are tens, not millions, so the scan
+// is cheap and avoids needing an incomplete beta.
+func (d NegativeBinomial) CDF(k int) float64 {
+	d.check()
+	return sumPMF(k, d.PMF)
+}
+
+// Quantile returns the smallest k with CDF(k) >= p, for p in [0, 1).
+func (d NegativeBinomial) Quantile(p float64) int {
+	d.check()
+	return quantilePMFScan(p, d.PMF)
+}
+
+// Sample draws one variate through the defining gamma-Poisson mixture:
+// Lambda ~ Gamma(shape R, mean Mu), then X ~ Poisson(Lambda).
+func (d NegativeBinomial) Sample(rng *rand.Rand) int {
+	d.check()
+	checkRNG(rng)
+	if d.Mu == 0 {
+		return 0
+	}
+	lambda := gammaSample(rng, d.R) * d.Mu / d.R
+	return Poisson{Lambda: lambda}.Sample(rng)
+}
+
+// gammaSample draws Gamma(shape, scale 1) by Marsaglia-Tsang squeeze
+// rejection; shapes below 1 are boosted via Gamma(a) = Gamma(a+1)·U^{1/a}.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNegativeBinomialPMFMoments(t *testing.T) {
+	cases := []NegativeBinomial{
+		{R: 0.5, Mu: 3},
+		{R: 1, Mu: 0.8},
+		{R: 2.5, Mu: 10},
+		{R: 7, Mu: 1.2},
+	}
+	for _, d := range cases {
+		var sum, mean, m2 float64
+		for k := 0; k <= 4000; k++ {
+			p := d.PMF(k)
+			sum += p
+			mean += float64(k) * p
+			m2 += float64(k) * float64(k) * p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%+v: PMF sums to %v", d, sum)
+		}
+		if math.Abs(mean-d.Mean()) > 1e-6 {
+			t.Errorf("%+v: PMF mean %v, Mean() %v", d, mean, d.Mean())
+		}
+		if v := m2 - mean*mean; math.Abs(v-d.Variance()) > 1e-5 {
+			t.Errorf("%+v: PMF variance %v, Variance() %v", d, v, d.Variance())
+		}
+	}
+}
+
+// TestNegativeBinomialPoissonLimit: as R -> Inf the clustering washes
+// out and the law converges to Poisson(Mu).
+func TestNegativeBinomialPoissonLimit(t *testing.T) {
+	d := NegativeBinomial{R: 1e7, Mu: 4}
+	p := Poisson{Lambda: 4}
+	for k := 0; k <= 25; k++ {
+		if diff := math.Abs(d.PMF(k) - p.PMF(k)); diff > 1e-5 {
+			t.Errorf("R→∞ limit: |NB(%d) - Poisson(%d)| = %v", k, k, diff)
+		}
+	}
+}
+
+// TestNegativeBinomialExtremeShape: with R >> Mu the success
+// probability p = R/(R+Mu) rounds to exactly 1; both log terms must
+// survive that and deliver the Poisson limit, not NaN (failure term)
+// or a collapsed success term.
+func TestNegativeBinomialExtremeShape(t *testing.T) {
+	d := NegativeBinomial{R: 1e10, Mu: 1e-8}
+	p0 := d.PMF(0)
+	if math.IsNaN(p0) || math.Abs(p0-1) > 1e-7 {
+		t.Errorf("PMF(0) = %v, want ≈ 1 (Poisson limit e^{-Mu})", p0)
+	}
+	if c := d.CDF(0); math.IsNaN(c) || c < 1-1e-7 {
+		t.Errorf("CDF(0) = %v", c)
+	}
+	if q := d.Quantile(0.999); q != 0 {
+		t.Errorf("Quantile(0.999) = %d, want 0", q)
+	}
+	// Non-tiny mean at extreme shape: PMF must match Poisson(Mu), not
+	// drop the e^{-Mu} factor when p rounds to 1.
+	huge := NegativeBinomial{R: 1e18, Mu: 5}
+	pois := Poisson{Lambda: 5}
+	for k := 0; k <= 20; k++ {
+		if diff := math.Abs(huge.PMF(k) - pois.PMF(k)); diff > 1e-9 {
+			t.Errorf("R=1e18: |NB(%d) - Poisson(%d)| = %v", k, k, diff)
+		}
+	}
+}
+
+func TestNegativeBinomialZeroMean(t *testing.T) {
+	d := NegativeBinomial{R: 2, Mu: 0}
+	if d.PMF(0) != 1 || d.PMF(3) != 0 || d.Variance() != 0 {
+		t.Errorf("Mu=0 degenerate law wrong")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		if k := d.Sample(rng); k != 0 {
+			t.Fatalf("Mu=0 sample = %d", k)
+		}
+	}
+}
+
+func TestNegativeBinomialCDFQuantile(t *testing.T) {
+	d := NegativeBinomial{R: 1.5, Mu: 5}
+	if d.CDF(-1) != 0 {
+		t.Errorf("CDF(-1) = %v", d.CDF(-1))
+	}
+	sum := 0.0
+	for k := 0; k <= 40; k++ {
+		sum += d.PMF(k)
+		if math.Abs(d.CDF(k)-sum) > 1e-10 {
+			t.Fatalf("CDF(%d) = %v, Σpmf = %v", k, d.CDF(k), sum)
+		}
+	}
+	for _, p := range []float64{0, 0.25, 0.75, 0.99} {
+		q := d.Quantile(p)
+		if d.CDF(q) < p || (q > 0 && d.CDF(q-1) >= p && p > 0) {
+			t.Errorf("Quantile(%v) = %d not the minimal crossing", p, q)
+		}
+	}
+}
+
+// TestNegativeBinomialSampleMoments exercises both gamma-sampler
+// branches (Marsaglia-Tsang for R >= 1, the boost for R < 1).
+func TestNegativeBinomialSampleMoments(t *testing.T) {
+	for _, d := range []NegativeBinomial{{R: 0.4, Mu: 2}, {R: 3, Mu: 6}} {
+		rng := rand.New(rand.NewSource(11))
+		const n = 80000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := float64(d.Sample(rng))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		seMean := math.Sqrt(d.Variance() / n)
+		if math.Abs(mean-d.Mean()) > 5*seMean {
+			t.Errorf("%+v: sample mean %v, want %v ± %v", d, mean, d.Mean(), 5*seMean)
+		}
+		if math.Abs(variance-d.Variance())/d.Variance() > 0.08 {
+			t.Errorf("%+v: sample variance %v, want ≈ %v", d, variance, d.Variance())
+		}
+	}
+}
+
+func TestNegativeBinomialInvalidPanics(t *testing.T) {
+	bad := []NegativeBinomial{
+		{R: 0, Mu: 1},
+		{R: -2, Mu: 1},
+		{R: math.NaN(), Mu: 1},
+		{R: math.Inf(1), Mu: 1},
+		{R: 1, Mu: -0.5},
+		{R: 1, Mu: math.NaN()},
+		{R: 1, Mu: math.Inf(1)},
+	}
+	for _, d := range bad {
+		d := d
+		mustPanic(t, func() { d.PMF(0) })
+		mustPanic(t, func() { d.Sample(rand.New(rand.NewSource(1))) })
+	}
+	mustPanic(t, func() { NegativeBinomial{R: 1, Mu: 1}.Sample(nil) })
+}

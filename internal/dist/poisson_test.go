@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPoissonPMFClosedForm checks the log-space PMF against the naive
+// e^{-λ} λ^k / k! formula where the latter is still representable.
+func TestPoissonPMFClosedForm(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 2.5, 8, 20} {
+		d := Poisson{Lambda: lambda}
+		fact := 1.0
+		for k := 0; k <= 30; k++ {
+			if k > 0 {
+				fact *= float64(k)
+			}
+			want := math.Exp(-lambda) * math.Pow(lambda, float64(k)) / fact
+			got := d.PMF(k)
+			if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+				t.Errorf("λ=%v PMF(%d) = %v, want %v", lambda, k, got, want)
+			}
+		}
+	}
+}
+
+// TestPoissonPMFLargeK exercises the log-space evaluation far beyond
+// where raw factorials overflow float64 (171! is already +Inf).
+func TestPoissonPMFLargeK(t *testing.T) {
+	d := Poisson{Lambda: 500}
+	p := d.PMF(500) // near the mode: ≈ 1/sqrt(2π·500)
+	want := 1 / math.Sqrt(2*math.Pi*500)
+	if math.Abs(p-want)/want > 0.01 {
+		t.Errorf("PMF(500) at λ=500 = %v, want ≈ %v", p, want)
+	}
+	// The deep tail underflows linear float64 but the log-space value
+	// stays finite — the whole point of never forming factorials.
+	if lp := d.LogPMF(2000); math.IsInf(lp, -1) || lp > -1000 {
+		t.Errorf("deep tail LogPMF(2000) = %v, want finite and ≪ 0", lp)
+	}
+}
+
+func TestPoissonCDFMatchesPMFSum(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 12.3} {
+		d := Poisson{Lambda: lambda}
+		sum := 0.0
+		for k := 0; k <= 60; k++ {
+			sum += d.PMF(k)
+			if got := d.CDF(k); math.Abs(got-sum) > 1e-10 {
+				t.Fatalf("λ=%v CDF(%d) = %v, Σpmf = %v", lambda, k, got, sum)
+			}
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	d := Poisson{Lambda: 0}
+	if d.PMF(0) != 1 || d.PMF(1) != 0 || d.CDF(0) != 1 || d.CDF(-1) != 0 {
+		t.Errorf("λ=0 degenerate law wrong: PMF(0)=%v PMF(1)=%v", d.PMF(0), d.PMF(1))
+	}
+	if d.Mean() != 0 || d.Variance() != 0 {
+		t.Errorf("λ=0 moments wrong: %v, %v", d.Mean(), d.Variance())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		if k := d.Sample(rng); k != 0 {
+			t.Fatalf("λ=0 sample = %d", k)
+		}
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Errorf("λ=0 Quantile(0.99) = %d", q)
+	}
+}
+
+func TestPoissonOutsideSupport(t *testing.T) {
+	d := Poisson{Lambda: 3}
+	if d.PMF(-1) != 0 || !math.IsInf(d.LogPMF(-1), -1) || d.CDF(-1) != 0 {
+		t.Errorf("negative k must be outside the support")
+	}
+}
+
+func TestPoissonQuantile(t *testing.T) {
+	d := Poisson{Lambda: 4.2}
+	if d.Quantile(0) != 0 {
+		t.Errorf("Quantile(0) = %d", d.Quantile(0))
+	}
+	for k := 0; k <= 20; k++ {
+		c := d.CDF(k)
+		if c >= 1 {
+			break
+		}
+		if q := d.Quantile(c); q > k {
+			t.Errorf("Quantile(CDF(%d)) = %d > %d", k, q, k)
+		}
+		// Just above CDF(k) the quantile must step to k+1.
+		if q := d.Quantile(math.Nextafter(c, 1)); q != k+1 {
+			t.Errorf("Quantile(CDF(%d)+ε) = %d, want %d", k, q, k+1)
+		}
+	}
+}
+
+// TestPoissonSamplerRegimes checks empirical moments in both the Knuth
+// and the PTRS regime of the hybrid sampler.
+func TestPoissonSamplerRegimes(t *testing.T) {
+	for _, lambda := range []float64{0.7, 12, 45, 200} {
+		rng := rand.New(rand.NewSource(42))
+		const n = 60000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := float64(Poisson{Lambda: lambda}.Sample(rng))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		seMean := math.Sqrt(lambda / n)
+		if math.Abs(mean-lambda) > 5*seMean {
+			t.Errorf("λ=%v sample mean %v off by > 5 s.e. (%v)", lambda, mean, seMean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.05 {
+			t.Errorf("λ=%v sample variance %v, want ≈ %v", lambda, variance, lambda)
+		}
+	}
+}
+
+func TestPoissonInvalidPanics(t *testing.T) {
+	for _, lambda := range []float64{-1, math.NaN(), math.Inf(1)} {
+		mustPanic(t, func() { Poisson{Lambda: lambda}.PMF(0) })
+		mustPanic(t, func() { Poisson{Lambda: lambda}.Mean() })
+		mustPanic(t, func() { Poisson{Lambda: lambda}.Variance() })
+		mustPanic(t, func() { Poisson{Lambda: lambda}.CDF(1) })
+		mustPanic(t, func() { Poisson{Lambda: lambda}.Sample(rand.New(rand.NewSource(1))) })
+	}
+	mustPanic(t, func() { Poisson{Lambda: 1}.Sample(nil) })
+	mustPanic(t, func() { Poisson{Lambda: 1}.Quantile(1) })
+	mustPanic(t, func() { Poisson{Lambda: 1}.Quantile(-0.1) })
+}
+
+func TestShiftedPoissonSupportAndMoments(t *testing.T) {
+	d := ShiftedPoisson{N0: 8}
+	if d.PMF(0) != 0 || !math.IsInf(d.LogPMF(0), -1) || d.CDF(0) != 0 {
+		t.Errorf("shifted Poisson must put no mass below 1")
+	}
+	if d.Mean() != 8 || d.Variance() != 7 {
+		t.Errorf("moments: mean %v (want 8), var %v (want 7)", d.Mean(), d.Variance())
+	}
+	// N0 = 1 degenerates to a point mass at 1.
+	one := ShiftedPoisson{N0: 1}
+	if one.PMF(1) != 1 || one.PMF(2) != 0 || one.Variance() != 0 {
+		t.Errorf("N0=1 must be a point mass at 1: PMF(1)=%v PMF(2)=%v", one.PMF(1), one.PMF(2))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if k := d.Sample(rng); k < 1 {
+			t.Fatalf("sampled %d < 1", k)
+		}
+	}
+}
+
+func TestShiftedPoissonQuantile(t *testing.T) {
+	d := ShiftedPoisson{N0: 5}
+	if q := d.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", q)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.999} {
+		q := d.Quantile(p)
+		if d.CDF(q) < p || (q > 1 && d.CDF(q-1) >= p) {
+			t.Errorf("Quantile(%v) = %d not the minimal crossing", p, q)
+		}
+	}
+}
+
+func TestShiftedPoissonInvalidPanics(t *testing.T) {
+	for _, n0 := range []float64{0.5, 0, -3, math.NaN(), math.Inf(1)} {
+		mustPanic(t, func() { ShiftedPoisson{N0: n0}.PMF(1) })
+		mustPanic(t, func() { ShiftedPoisson{N0: n0}.Sample(rand.New(rand.NewSource(1))) })
+	}
+}
+
+// mustPanic asserts fn panics; shared by the validation tests.
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	fn()
+}

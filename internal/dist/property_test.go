@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// discrete is the common surface every distribution in this package
+// offers; the property tests run the same checks across all of them.
+type discrete interface {
+	PMF(int) float64
+	CDF(int) float64
+	Quantile(float64) int
+	Mean() float64
+	Variance() float64
+	Sample(*rand.Rand) int
+}
+
+// propCase names one parameterisation for the shared property tests.
+type propCase struct {
+	name string
+	d    discrete
+}
+
+func propCases(t *testing.T) []propCase {
+	t.Helper()
+	fc, err := NewChipFaultCount(0.07, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc2, err := NewChipFaultCount(0.59, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []propCase{
+		{"poisson-small", Poisson{Lambda: 2.5}},
+		{"poisson-large", Poisson{Lambda: 80}},
+		{"shifted-8", ShiftedPoisson{N0: 8}},
+		{"shifted-1.3", ShiftedPoisson{N0: 1.3}},
+		{"negbin-clustered", NegativeBinomial{R: 0.5, Mu: 3}},
+		{"negbin-smooth", NegativeBinomial{R: 4, Mu: 12}},
+		{"hypergeom", Hypergeometric{N: 100, K: 8, M: 40}},
+		{"chipfault-paper", fc},
+		{"chipfault-lot", fc2},
+	}
+}
+
+// TestPMFSumsToOne: summed over the (numerically) whole support, every
+// PMF accounts for all the mass.
+func TestPMFSumsToOne(t *testing.T) {
+	for _, c := range propCases(t) {
+		top := c.d.Quantile(1 - 1e-13)
+		var sum float64
+		for k := 0; k <= top+200; k++ {
+			sum += c.d.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: PMF sums to %v over [0, %d]", c.name, sum, top+200)
+		}
+	}
+}
+
+// TestMomentsMatchPMF: Mean()/Variance() agree with moments computed
+// from the PMF itself.
+func TestMomentsMatchPMF(t *testing.T) {
+	for _, c := range propCases(t) {
+		top := c.d.Quantile(1-1e-13) + 300
+		var mean, m2 float64
+		for k := 0; k <= top; k++ {
+			p := c.d.PMF(k)
+			mean += float64(k) * p
+			m2 += float64(k) * float64(k) * p
+		}
+		if math.Abs(mean-c.d.Mean()) > 1e-6*math.Max(1, c.d.Mean()) {
+			t.Errorf("%s: PMF mean %v, Mean() %v", c.name, mean, c.d.Mean())
+		}
+		v := m2 - mean*mean
+		if math.Abs(v-c.d.Variance()) > 1e-5*math.Max(1, c.d.Variance()) {
+			t.Errorf("%s: PMF variance %v, Variance() %v", c.name, v, c.d.Variance())
+		}
+	}
+}
+
+// TestCDFIsPMFPartialSum: the CDF is the running sum of the PMF and is
+// monotone in [0, 1].
+func TestCDFIsPMFPartialSum(t *testing.T) {
+	for _, c := range propCases(t) {
+		top := c.d.Quantile(1 - 1e-10)
+		var sum, prev float64
+		for k := 0; k <= top; k++ {
+			sum += c.d.PMF(k)
+			got := c.d.CDF(k)
+			if math.Abs(got-sum) > 1e-8 {
+				t.Errorf("%s: CDF(%d) = %v, Σpmf = %v", c.name, k, got, sum)
+				break
+			}
+			if got < prev || got > 1+1e-12 {
+				t.Errorf("%s: CDF not monotone in [0,1] at %d: %v after %v", c.name, k, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestSampleMomentsMatch: empirical mean and variance of the sampler
+// agree with the analytic moments (5-sigma mean bound, loose variance
+// bound).
+func TestSampleMomentsMatch(t *testing.T) {
+	for _, c := range propCases(t) {
+		rng := rand.New(rand.NewSource(1234))
+		const n = 60000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := float64(c.d.Sample(rng))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		se := math.Sqrt(c.d.Variance() / n)
+		if math.Abs(mean-c.d.Mean()) > 5*se {
+			t.Errorf("%s: sample mean %v, want %v ± %v", c.name, mean, c.d.Mean(), 5*se)
+		}
+		if want := c.d.Variance(); want > 0 && math.Abs(variance-want)/want > 0.08 {
+			t.Errorf("%s: sample variance %v, want ≈ %v", c.name, variance, want)
+		}
+	}
+}
+
+// TestShiftedPoissonIsOnePlusPoisson: the shifted law equals
+// 1 + Poisson(N0-1) in distribution — identical PMF, CDF, quantiles,
+// and (with matched seeds) identical samples.
+func TestShiftedPoissonIsOnePlusPoisson(t *testing.T) {
+	for _, n0 := range []float64{1, 2.5, 8, 20} {
+		sp := ShiftedPoisson{N0: n0}
+		base := Poisson{Lambda: n0 - 1}
+		for n := 1; n <= 60; n++ {
+			if math.Abs(sp.PMF(n)-base.PMF(n-1)) > 1e-15 {
+				t.Errorf("n0=%v: PMF(%d) = %v, Poisson PMF(%d) = %v", n0, n, sp.PMF(n), n-1, base.PMF(n-1))
+			}
+			if math.Abs(sp.CDF(n)-base.CDF(n-1)) > 1e-15 {
+				t.Errorf("n0=%v: CDF mismatch at %d", n0, n)
+			}
+		}
+		for _, p := range []float64{0, 0.3, 0.9, 0.999} {
+			if sp.Quantile(p) != 1+base.Quantile(p) {
+				t.Errorf("n0=%v: Quantile(%v) mismatch", n0, p)
+			}
+		}
+		rng1 := rand.New(rand.NewSource(99))
+		rng2 := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			if got, want := sp.Sample(rng1), 1+base.Sample(rng2); got != want {
+				t.Fatalf("n0=%v draw %d: shifted %d, 1+Poisson %d", n0, i, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileExtremeP: the largest float64 below 1 is inside the
+// documented domain [0, 1); every distribution must terminate and land
+// at (or beyond) the numerically exhausted tail, even when the
+// accumulated CDF can never reach p exactly (bounded support, or a
+// conditional rescale rounding to 1).
+func TestQuantileExtremeP(t *testing.T) {
+	p := math.Nextafter(1, 0)
+	for _, c := range propCases(t) {
+		q := c.d.Quantile(p)
+		if c.d.CDF(q) < 1-1e-9 {
+			t.Errorf("%s: Quantile(1-ulp) = %d but CDF there is only %v", c.name, q, c.d.CDF(q))
+		}
+	}
+	// The hypergeometric must land on its support top, not scan past it.
+	h := Hypergeometric{N: 100, K: 8, M: 40}
+	if q := h.Quantile(p); q > 8 {
+		t.Errorf("hypergeom Quantile(1-ulp) = %d, beyond the support top 8", q)
+	}
+}
+
+// TestQuantileIsMinimalCrossing: Quantile(p) is the smallest k with
+// CDF(k) >= p, across all distributions and a ladder of probabilities.
+func TestQuantileIsMinimalCrossing(t *testing.T) {
+	for _, c := range propCases(t) {
+		for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.9999} {
+			q := c.d.Quantile(p)
+			if c.d.CDF(q) < p {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v < p", c.name, p, c.d.CDF(q))
+			}
+			if q > 0 && c.d.CDF(q-1) >= p && p > 0 {
+				t.Errorf("%s: Quantile(%v) = %d is not minimal", c.name, p, q)
+			}
+		}
+	}
+}

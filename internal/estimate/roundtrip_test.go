@@ -1,0 +1,109 @@
+// Cross-package regression: the full §5 estimation pipeline recovers
+// known ground truth. defect.GenerateLotFromModel manufactures a lot
+// straight from the Eq. 1 law (via dist.ChipFaultCount), the lot is
+// reduced to a fallout curve, and FitN0 must round-trip n0 — the
+// paper's Fig. 5 fit with the answer known in advance.
+package estimate_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/estimate"
+	"repro/internal/fault"
+)
+
+// falloutFromLot reduces a lot to a fallout curve under an idealised
+// coverage ramp: the test covering a fraction f of the universe detects
+// the first ⌊f·N⌋ fault indices. Because GenerateLotFromModel places
+// faults uniformly, which indices are "first" is immaterial; a chip has
+// failed by coverage f iff it carries a fault with index below ⌊f·N⌋.
+func falloutFromLot(lot defect.Lot, steps int) estimate.Curve {
+	total := len(lot.Universe)
+	curve := make(estimate.Curve, 0, steps)
+	for s := 1; s <= steps; s++ {
+		f := float64(s) / float64(steps)
+		covered := int(f * float64(total))
+		failed := 0
+		for _, chip := range lot.Chips {
+			for _, idx := range chip.Faults {
+				if idx < covered {
+					failed++
+					break
+				}
+			}
+		}
+		curve = append(curve, estimate.FalloutPoint{
+			F:    float64(covered) / float64(total),
+			Fail: float64(failed) / float64(len(lot.Chips)),
+		})
+	}
+	return curve
+}
+
+// TestFitN0RoundTrip: ground truth (y=0.3, n0=8) in, n0 ≈ 8 out,
+// under a fixed seed. Guards the dist → defect → estimate chain
+// end to end.
+func TestFitN0RoundTrip(t *testing.T) {
+	const (
+		y     = 0.3
+		n0    = 8.0
+		chips = 6000
+	)
+	universe := make([]fault.Fault, 4000)
+	rng := rand.New(rand.NewSource(8152))
+	lot, err := defect.GenerateLotFromModel(y, n0, universe, chips, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the lot's empirical yield and per-defective fault mean
+	// must be near the generating parameters before fitting anything.
+	if math.Abs(lot.Yield-y) > 0.02 {
+		t.Fatalf("lot yield %v far from ground truth %v", lot.Yield, y)
+	}
+	if emp := lot.MeanFaultsOnDefective(); math.Abs(emp-n0) > 0.2 {
+		t.Fatalf("lot mean faults on defective %v far from %v", emp, n0)
+	}
+
+	curve := falloutFromLot(lot, 40)
+	res, err := estimate.FitN0(curve, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.N0-n0) > 0.5 {
+		t.Errorf("FitN0 recovered n0 = %v, ground truth %v (SSE %v)", res.N0, n0, res.SSE)
+	}
+
+	// The joint fit must also locate the yield from the curve plateau.
+	n0Joint, yJoint, err := estimate.FitN0AndYield(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(yJoint-y) > 0.03 {
+		t.Errorf("joint fit yield %v, ground truth %v", yJoint, y)
+	}
+	if math.Abs(n0Joint-n0) > 1.0 {
+		t.Errorf("joint fit n0 %v, ground truth %v", n0Joint, n0)
+	}
+}
+
+// TestFitN0RoundTripLowYield repeats the round-trip in the paper's §7
+// regime (y=0.07, n0=8), where almost every chip is defective and the
+// fallout curve rises steeply.
+func TestFitN0RoundTripLowYield(t *testing.T) {
+	universe := make([]fault.Fault, 4000)
+	rng := rand.New(rand.NewSource(44))
+	lot, err := defect.GenerateLotFromModel(0.07, 8, universe, 6000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := estimate.FitN0(falloutFromLot(lot, 40), 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.N0-8) > 0.5 {
+		t.Errorf("FitN0 recovered n0 = %v, ground truth 8", res.N0)
+	}
+}
