@@ -6,12 +6,16 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
 	"repro/internal/netlist"
 )
 
@@ -83,6 +87,70 @@ func BenchmarkFig6(b *testing.B) {
 		res := experiment.Fig6()
 		if len(res.Curves) != 15 {
 			b.Fatal("wrong curve count")
+		}
+	}
+}
+
+// BenchmarkEngines is the fault-simulation engine matrix: every engine
+// against paper-scale circuits, 256 random patterns each, on the
+// collapsed fault list. ppsfp-full is the pre-cone full-circuit
+// reference path (the seed implementation); comparing it with ppsfp
+// isolates what the cone restriction buys. The ns/fault-pattern metric
+// is the engine-comparison number quoted in the README.
+func BenchmarkEngines(b *testing.B) {
+	circuits := []struct {
+		name  string
+		build func() (*netlist.Circuit, error)
+	}{
+		{"mul8", func() (*netlist.Circuit, error) { return netlist.ArrayMultiplier(8) }},
+		{"cmp16", func() (*netlist.Circuit, error) { return netlist.Comparator(16) }},
+	}
+	type benchEngine struct {
+		name   string
+		engine faultsim.Engine
+		opt    faultsim.Options
+	}
+	// Every registered engine is benchmarked automatically; ppsfp-full
+	// is the seed full-circuit reference path kept for comparison.
+	engines := []benchEngine{
+		{"ppsfp-full", faultsim.PPSFP, faultsim.Options{FullCircuit: true}},
+	}
+	for _, e := range faultsim.Engines() {
+		engines = append(engines, benchEngine{e.String(), e, faultsim.Options{}})
+	}
+	for _, en := range engines {
+		for _, ce := range circuits {
+			b.Run(en.name+"/"+ce.name, func(b *testing.B) {
+				c, err := ce.build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				reps := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+				rng := rand.New(rand.NewSource(1))
+				patterns := make([]logicsim.Pattern, 256)
+				for i := range patterns {
+					p := make(logicsim.Pattern, len(c.Inputs))
+					for j := range p {
+						p[j] = rng.Intn(2) == 1
+					}
+					patterns[i] = p
+				}
+				// One warm-up run outside the timer so -benchtime=1x
+				// still reports steady state (the per-circuit cone
+				// set is built once and cached on the circuit).
+				if _, err := faultsim.RunOpts(c, reps, patterns, en.engine, en.opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := faultsim.RunOpts(c, reps, patterns, en.engine, en.opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(
+					float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(reps)*len(patterns)),
+					"ns/fault-pattern")
+			})
 		}
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	faultsim -bench c17.bench -patterns 64 -seed 7
 //	faultsim -circuit mul8 -patterns 256 -engine deductive
+//	faultsim -circuit cmp16 -patterns 512 -engine concurrent -workers 8
 package main
 
 import (
@@ -24,17 +25,20 @@ func main() {
 	circuit := flag.String("circuit", "c17", "built-in circuit: c17, rca<N>, mul<N>, parity<N>, dec<N>, mux<N>, cmp<N>")
 	npat := flag.Int("patterns", 64, "number of random patterns")
 	seed := flag.Int64("seed", 1, "pattern seed")
-	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive")
+	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive, pf, concurrent")
+	workers := flag.Int("workers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
+	full := flag.Bool("full", false, "disable cone restriction (full-circuit reference path)")
 	lfsr := flag.Bool("lfsr", false, "use an LFSR instead of uniform random patterns")
 	flag.Parse()
 
-	if err := run(*benchPath, *circuit, *npat, *seed, *engine, *lfsr); err != nil {
+	opt := faultsim.Options{Workers: *workers, FullCircuit: *full}
+	if err := run(*benchPath, *circuit, *npat, *seed, *engine, opt, *lfsr); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, circuit string, npat int, seed int64, engineName string, lfsr bool) error {
+func run(benchPath, circuit string, npat int, seed int64, engineName string, opt faultsim.Options, lfsr bool) error {
 	c, err := loadCircuit(benchPath, circuit)
 	if err != nil {
 		return err
@@ -45,16 +49,18 @@ func run(benchPath, circuit string, npat int, seed int64, engineName string, lfs
 	}
 	fmt.Printf("circuit %s: %s\n", c.Name, stats)
 
-	var eng faultsim.Engine
-	switch engineName {
-	case "serial":
-		eng = faultsim.Serial
-	case "ppsfp":
-		eng = faultsim.PPSFP
-	case "deductive":
-		eng = faultsim.Deductive
-	default:
-		return fmt.Errorf("unknown engine %q", engineName)
+	eng, err := faultsim.ParseEngine(engineName)
+	if err != nil {
+		return err
+	}
+	// Reject flag/engine combinations that would be silently ignored:
+	// wrong timings attributed to the wrong configuration are worse
+	// than an error.
+	if opt.FullCircuit && eng != faultsim.PPSFP && eng != faultsim.Concurrent {
+		return fmt.Errorf("-full only applies to the ppsfp and concurrent engines (got %v)", eng)
+	}
+	if opt.Workers != 0 && eng != faultsim.Concurrent {
+		return fmt.Errorf("-workers only applies to the concurrent engine (got %v)", eng)
 	}
 
 	var src atpg.Source
@@ -73,7 +79,7 @@ func run(benchPath, circuit string, npat int, seed int64, engineName string, lfs
 	fmt.Printf("faults: %d total, %d collapsed, %d after dominance\n",
 		len(u.All), len(u.Collapsed), len(u.Checkable))
 
-	res, err := faultsim.Run(c, reps, patterns, eng)
+	res, err := faultsim.RunOpts(c, reps, patterns, eng, opt)
 	if err != nil {
 		return err
 	}

@@ -83,6 +83,13 @@ func GenerateAll(c *netlist.Circuit) (RunResult, error) {
 // detects no fresh fault is discarded. The compacted set preserves
 // total coverage.
 func Compact(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) ([]logicsim.Pattern, error) {
+	return CompactEngine(c, faults, patterns, faultsim.PPSFP, faultsim.Options{})
+}
+
+// CompactEngine is Compact with an explicit fault-simulation engine and
+// options (every engine returns identical first-detects, so the
+// compacted set is engine-independent; only wall-clock changes).
+func CompactEngine(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine faultsim.Engine, opt faultsim.Options) ([]logicsim.Pattern, error) {
 	if len(patterns) == 0 {
 		return nil, nil
 	}
@@ -90,7 +97,7 @@ func Compact(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Patte
 	for i, p := range patterns {
 		reversed[len(patterns)-1-i] = p
 	}
-	res, err := faultsim.Run(c, faults, reversed, faultsim.PPSFP)
+	res, err := faultsim.RunOpts(c, faults, reversed, engine, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +134,14 @@ func HybridTests(c *netlist.Circuit, randomCount int, seed int64) ([]logicsim.Pa
 // CleanupTests appends deterministic PODEM tests for every collapsed
 // fault the base pattern sequence misses, preserving the base order.
 func CleanupTests(c *netlist.Circuit, base []logicsim.Pattern) ([]logicsim.Pattern, error) {
+	return CleanupTestsEngine(c, base, faultsim.PPSFP, faultsim.Options{})
+}
+
+// CleanupTestsEngine is CleanupTests with an explicit fault-simulation
+// engine and options for the grading and dropping passes. The fault-
+// parallel engine suits the one-pattern-many-faults dropping loop; the
+// default cone-restricted PPSFP suits the long base sequence.
+func CleanupTestsEngine(c *netlist.Circuit, base []logicsim.Pattern, engine faultsim.Engine, opt faultsim.Options) ([]logicsim.Pattern, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("atpg: invalid circuit: %w", err)
 	}
@@ -135,7 +150,7 @@ func CleanupTests(c *netlist.Circuit, base []logicsim.Pattern) ([]logicsim.Patte
 	reps := fault.Reps(u.Collapsed)
 	detected := make([]bool, len(reps))
 	if len(patterns) > 0 {
-		res, err := faultsim.Run(c, reps, patterns, faultsim.PPSFP)
+		res, err := faultsim.RunOpts(c, reps, patterns, engine, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +179,7 @@ func CleanupTests(c *netlist.Circuit, base []logicsim.Pattern) ([]logicsim.Patte
 				idx = append(idx, ri)
 			}
 		}
-		one, err := faultsim.Run(c, remaining, []logicsim.Pattern{pattern}, faultsim.PPSFP)
+		one, err := faultsim.RunOpts(c, remaining, []logicsim.Pattern{pattern}, engine, opt)
 		if err != nil {
 			return nil, err
 		}

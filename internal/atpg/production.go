@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/faultsim"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
 )
@@ -81,6 +82,15 @@ func ProductionPatterns(width, lowWeight, uniform int, seed int64) ([]logicsim.P
 // circuit: ProductionPatterns bring-up and random phases followed by
 // deterministic PODEM tests for whatever remains undetected.
 func ProductionTests(c *netlist.Circuit, lowWeight, uniform int, seed int64) ([]logicsim.Pattern, error) {
+	return ProductionTestsEngine(c, lowWeight, uniform, seed, faultsim.PPSFP, faultsim.Options{})
+}
+
+// ProductionTestsEngine is ProductionTests with an explicit fault-
+// simulation engine and options for the grading and PODEM fault-
+// dropping passes. The pattern set produced is engine-independent (all
+// engines agree on first-detects); the engine only changes how fast it
+// is built.
+func ProductionTestsEngine(c *netlist.Circuit, lowWeight, uniform int, seed int64, engine faultsim.Engine, opt faultsim.Options) ([]logicsim.Pattern, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("atpg: invalid circuit: %w", err)
 	}
@@ -88,5 +98,5 @@ func ProductionTests(c *netlist.Circuit, lowWeight, uniform int, seed int64) ([]
 	if err != nil {
 		return nil, err
 	}
-	return CleanupTests(c, base)
+	return CleanupTestsEngine(c, base, engine, opt)
 }

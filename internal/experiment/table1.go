@@ -40,6 +40,14 @@ type Table1Config struct {
 	// to match Yield and N0) instead of directly from the statistical
 	// model.
 	Physical bool
+	// Engine selects the fault-simulation engine for the coverage ramp
+	// and the test-set construction. The zero value is the default
+	// cone-restricted PPSFP; every engine yields an identical ramp.
+	Engine faultsim.Engine
+	// SimWorkers is the goroutine count when Engine is
+	// faultsim.Concurrent (0 = GOMAXPROCS); every other engine is
+	// single-threaded and ignores it.
+	SimWorkers int
 }
 
 // DefaultTable1Config returns the paper-matched configuration.
@@ -101,13 +109,15 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 	// rising-weight random first (gentle early ramp, like the
 	// initialization sequence before the paper's first strobe), uniform
 	// random, then deterministic cleanup.
-	patterns, err := atpg.ProductionTests(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed)
+	patterns, err := atpg.ProductionTestsEngine(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed,
+		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
 	if err != nil {
 		return Table1Result{}, err
 	}
 	// Coverage ramp at strobe granularity (pattern × output), the
 	// bookkeeping the Sentry used for Table 1.
-	curve, simRes, err := faultsim.StepCoverageCurve(c, universe, patterns)
+	curve, simRes, err := faultsim.StepCoverageCurveOpts(c, universe, patterns,
+		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
 	if err != nil {
 		return Table1Result{}, err
 	}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/fault"
-	"repro/internal/logicsim"
 	"repro/internal/netlist"
 )
 
@@ -12,15 +11,17 @@ import (
 // one topological pass propagates, per line, the *list* of faults that
 // would flip that line, using set algebra driven by the good values.
 // The union of the primary-output lists is the set of faults the
-// pattern detects.
-func runDeductive(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) (Result, error) {
+// pattern detects. Every fault's detectability falls out of the single
+// pass, so dropping buys nothing here.
+func runDeductive(s *session) error {
+	c, faults, patterns := s.c, s.faults, s.patterns
 	order, err := c.Order()
 	if err != nil {
-		return Result{}, err
+		return err
 	}
-	sim, err := logicsim.NewSimulator(c)
+	sim, err := s.simulator()
 	if err != nil {
-		return Result{}, err
+		return err
 	}
 	// Index faults by site for activation checks.
 	stem := make(map[int][]int)      // gate -> fault indices on its output
@@ -32,15 +33,11 @@ func runDeductive(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.
 			branch[[2]int{f.Gate, f.Pin}] = append(branch[[2]int{f.Gate, f.Pin}], i)
 		}
 	}
-	first := make([]int, len(faults))
-	for i := range first {
-		first[i] = NotDetected
-	}
 	lists := make([][]int, len(c.Gates))
 	var scratch []int
 	for pi, p := range patterns {
 		if _, err := sim.RunSingle(p); err != nil {
-			return Result{}, err
+			return err
 		}
 		val := func(id int) bool { return sim.Value(id)&1 == 1 }
 		for _, id := range order {
@@ -80,12 +77,10 @@ func runDeductive(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.
 				continue
 			}
 			prev = fi
-			if first[fi] == NotDetected {
-				first[fi] = pi
-			}
+			s.detect(fi, pi)
 		}
 	}
-	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+	return nil
 }
 
 // activeFaults returns the fault indices whose stuck value differs from

@@ -1,0 +1,263 @@
+package faultsim
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// runFaultParallel is the fault-parallel (PF) engine. Where PPSFP packs
+// 64 patterns into a word and injects one fault per pass, PF transposes
+// the packing: one word per pattern, lane 0 carrying the good machine
+// and lanes 1..63 carrying up to 63 distinct faulty machines. One
+// topological pass over the union of the group's output cones evaluates
+// all 64 machines at once; a stem fault forces its lane of the site's
+// output word, a pin fault forces its lane of one fanin word at the
+// site only. PF therefore wins when many faults survive per pattern
+// (early in a test set, or single-pattern dropping loops), and the cone
+// union keeps the per-pattern pass near the disturbed logic.
+func runFaultParallel(s *session) error {
+	blocks, err := s.packBlocks(false)
+	if err != nil {
+		return err
+	}
+	sim, err := s.simulator()
+	if err != nil {
+		return err
+	}
+	cones, err := s.coneSet()
+	if err != nil {
+		return err
+	}
+	// A gate's level strictly exceeds every fanin's, so (level, id) is a
+	// valid evaluation order for any gate subset — used both to order
+	// the union cone and to group faults by site locality.
+	level := make([]int, len(s.c.Gates))
+	for id := range s.c.Gates {
+		l, err := s.c.Level(id)
+		if err != nil {
+			return err
+		}
+		level[id] = l
+	}
+	st := &pfState{
+		inCone:    make([]int, len(s.c.Gates)),
+		frontMark: make([]int, len(s.c.Gates)),
+		forceMark: make([]int, len(s.c.Gates)),
+		force:     make([]*laneForce, len(s.c.Gates)),
+		outMark:   make([]int, len(s.c.Outputs)),
+		fv:        make([]uint64, len(s.c.Gates)),
+	}
+	for bi := range blocks {
+		b := &blocks[bi]
+		var live []int
+		for fi := range s.faults {
+			if s.alive(fi) {
+				live = append(live, fi)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		// Good machine for this block; lane broadcasts read it via Value.
+		if _, err := sim.Run(b.pat); err != nil {
+			return err
+		}
+		// Lane assignment by cone locality: neighboring sites share most
+		// of their cones, so sorting the live faults by site position
+		// keeps each 63-fault group's union cone small.
+		sort.SliceStable(live, func(a, b int) bool {
+			ga, gb := s.faults[live[a]].Gate, s.faults[live[b]].Gate
+			if level[ga] != level[gb] {
+				return level[ga] < level[gb]
+			}
+			return ga < gb
+		})
+		for lo := 0; lo < len(live); lo += 63 {
+			hi := lo + 63
+			if hi > len(live) {
+				hi = len(live)
+			}
+			if err := s.pfGroup(sim, cones, b, live[lo:hi], level, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pfState is the per-run scratch of the PF engine, allocated once and
+// reused across groups and blocks. Group membership is tracked with
+// epoch marks (slot == gid) instead of per-group maps, the same O(1)
+// dedup trick the cone builder uses.
+type pfState struct {
+	gid        int
+	inCone     []int        // per gate: member of the current group's union cone
+	frontMark  []int        // per gate: already collected into the frontier
+	forceMark  []int        // per gate: force[gate] belongs to this group
+	force      []*laneForce // per gate: the group's lane-forcing masks
+	outMark    []int        // per output index: already collected into outs
+	union      []int
+	unionForce []*laneForce // aligned with union; nil = no faults on the gate
+	outs       []int
+	frontier   []int
+	fv         []uint64 // per-gate lane words
+}
+
+// laneForce holds one gate's lane-forcing masks within a PF group: stem
+// masks force the gate's output word, pin masks force one fanin word
+// during this gate's evaluation only (the fanout-branch semantics).
+type laneForce struct {
+	stem0, stem1 uint64
+	pins         []pinForce
+}
+
+type pinForce struct {
+	pin    int
+	m0, m1 uint64
+}
+
+// pfGroup simulates one group of up to 63 live faults against one
+// block, lane i+1 carrying group[i].
+func (s *session) pfGroup(sim *logicsim.Simulator, cones *logicsim.ConeSet, b *block, group []int, level []int, st *pfState) error {
+	c := s.c
+	st.gid++
+	gid := st.gid
+	union, outs := st.union[:0], st.outs[:0]
+	for i, fi := range group {
+		f := s.faults[fi]
+		lane := uint64(1) << uint(i+1)
+		var lf *laneForce
+		if st.forceMark[f.Gate] == gid {
+			lf = st.force[f.Gate]
+		} else {
+			lf = &laneForce{}
+			st.force[f.Gate] = lf
+			st.forceMark[f.Gate] = gid
+		}
+		switch {
+		case f.Pin < 0 && f.Stuck:
+			lf.stem1 |= lane
+		case f.Pin < 0:
+			lf.stem0 |= lane
+		default:
+			var pf *pinForce
+			for j := range lf.pins {
+				if lf.pins[j].pin == f.Pin {
+					pf = &lf.pins[j]
+					break
+				}
+			}
+			if pf == nil {
+				lf.pins = append(lf.pins, pinForce{pin: f.Pin})
+				pf = &lf.pins[len(lf.pins)-1]
+			}
+			if f.Stuck {
+				pf.m1 |= lane
+			} else {
+				pf.m0 |= lane
+			}
+		}
+		cone := cones.Cone(f.Gate)
+		for _, g := range cone.Gates {
+			if st.inCone[g] != gid {
+				st.inCone[g] = gid
+				union = append(union, g)
+			}
+		}
+		for _, oi := range cone.Outputs {
+			if st.outMark[oi] != gid {
+				st.outMark[oi] = gid
+				outs = append(outs, oi)
+			}
+		}
+	}
+	sort.Slice(union, func(a, b int) bool {
+		if level[union[a]] != level[union[b]] {
+			return level[union[a]] < level[union[b]]
+		}
+		return union[a] < union[b]
+	})
+	sort.Ints(outs)
+	// Resolve each union gate's forcing masks once, aligned with the
+	// evaluation order, so the per-pattern loop is lookup-free.
+	unionForce := st.unionForce[:0]
+	for _, g := range union {
+		if st.forceMark[g] == gid {
+			unionForce = append(unionForce, st.force[g])
+		} else {
+			unionForce = append(unionForce, nil)
+		}
+	}
+	// Frontier: gates feeding the union cone from outside it; all their
+	// lanes carry the good value.
+	frontier := st.frontier[:0]
+	for _, g := range union {
+		for _, fin := range c.Gates[g].Fanin {
+			if st.inCone[fin] != gid && st.frontMark[fin] != gid {
+				st.frontMark[fin] = gid
+				frontier = append(frontier, fin)
+			}
+		}
+	}
+	nLanes := uint(len(group) + 1)
+	laneMask := (uint64(1)<<nLanes - 1) &^ 1 // fault lanes 1..len(group)
+	var done uint64
+	var stage [8]uint64
+	wide := stage[:]
+	fv := st.fv
+	for p := 0; p < b.pat.Count; p++ {
+		if done == laneMask {
+			break
+		}
+		for _, g := range frontier {
+			fv[g] = pfBroadcast(sim.Value(g), p)
+		}
+		for k, g := range union {
+			gate := &c.Gates[g]
+			lf := unionForce[k]
+			var v uint64
+			if gate.Type == netlist.Input {
+				v = pfBroadcast(sim.Value(g), p)
+			} else {
+				if len(gate.Fanin) > len(wide) {
+					wide = make([]uint64, len(gate.Fanin))
+				}
+				buf := wide[:len(gate.Fanin)]
+				for i, fin := range gate.Fanin {
+					buf[i] = fv[fin]
+				}
+				if lf != nil {
+					for _, pf := range lf.pins {
+						buf[pf.pin] = buf[pf.pin]&^pf.m0 | pf.m1
+					}
+				}
+				v = logicsim.EvalWords(gate.Type, buf)
+			}
+			if lf != nil {
+				v = v&^lf.stem0 | lf.stem1
+			}
+			fv[g] = v
+		}
+		for _, oi := range outs {
+			o := c.Outputs[oi]
+			d := (fv[o] ^ pfBroadcast(sim.Value(o), p)) & laneMask &^ done
+			for d != 0 {
+				lane := bits.TrailingZeros64(d)
+				d &^= uint64(1) << uint(lane)
+				done |= uint64(1) << uint(lane)
+				s.detect(group[lane-1], b.base+p)
+			}
+		}
+	}
+	// Hand the (possibly grown) scratch slices back for the next group.
+	st.union, st.unionForce, st.outs, st.frontier = union, unionForce, outs, frontier
+	return nil
+}
+
+// pfBroadcast spreads bit p of a good-machine word across all 64 lanes.
+func pfBroadcast(w uint64, p int) uint64 {
+	return -(w >> uint(p) & 1)
+}

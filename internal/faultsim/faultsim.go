@@ -1,12 +1,21 @@
 // Package faultsim measures which single-stuck-at faults a test-pattern
-// sequence detects. Three engines are provided:
+// sequence detects. Five engines share one result contract (identical
+// FirstDetect, bit for bit) and one set of plumbing — block packing,
+// fault dropping, first-detect bookkeeping — and differ only in how
+// they spend the machine word:
 //
-//   - Serial: one fault at a time, 64 patterns per pass (the classic
-//     baseline, also the reference the others are checked against);
+//   - Serial: one fault at a time, full-circuit re-simulation, no fault
+//     dropping — the classic baseline and the reference the other
+//     engines are cross-checked against;
 //   - PPSFP: parallel-pattern single-fault propagation with fault
-//     dropping — the workhorse used by the experiments;
+//     dropping, restricted to each fault's output cone — the workhorse
+//     used by the experiments;
 //   - Deductive: per-pattern fault-list propagation (one pass computes
-//     every fault's detectability for that pattern).
+//     every fault's detectability for that pattern);
+//   - FaultParallel (PF): the good machine plus up to 63 faulty
+//     machines packed into the 64 bit-lanes of one word per pattern,
+//     evaluated over the union of the faults' output cones;
+//   - Concurrent: cone-restricted PPSFP sharded over a goroutine pool.
 //
 // The paper's experiment needs the cumulative coverage curve of an
 // ordered pattern set — CoverageCurve produces exactly the "fault
@@ -15,7 +24,7 @@ package faultsim
 
 import (
 	"fmt"
-	"math/bits"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/logicsim"
@@ -56,94 +65,233 @@ func (r Result) Coverage() float64 {
 // Engine selects the fault-simulation algorithm.
 type Engine int
 
-// Available engines.
+// Available engines. PPSFP is the zero value on purpose: an
+// unconfigured Engine field selects the workhorse.
 const (
-	Serial Engine = iota
-	PPSFP
+	PPSFP Engine = iota
+	Serial
 	Deductive
+	FaultParallel
+	Concurrent
 )
+
+// strategy is one entry of the engine registry: the CLI-stable name
+// plus the run function, operating on the shared session plumbing.
+type strategy struct {
+	name string
+	run  func(*session) error
+}
+
+// registry maps each Engine to its strategy. Every engine consumes the
+// same session (packed blocks, good-machine outputs, first-detect
+// bookkeeping with dropping), so adding an engine is one entry here
+// plus a run function.
+var registry = map[Engine]strategy{
+	Serial:        {"serial", func(s *session) error { return s.runParallelPattern(false, false) }},
+	PPSFP:         {"ppsfp", func(s *session) error { return s.runParallelPattern(true, !s.opt.FullCircuit) }},
+	Deductive:     {"deductive", runDeductive},
+	FaultParallel: {"pf", runFaultParallel},
+	Concurrent:    {"concurrent", runConcurrent},
+}
 
 // String names the engine.
 func (e Engine) String() string {
-	switch e {
-	case Serial:
-		return "serial"
-	case PPSFP:
-		return "ppsfp"
-	case Deductive:
-		return "deductive"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
+	if st, ok := registry[e]; ok {
+		return st.name
 	}
+	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// Run fault-simulates the ordered patterns against the fault list and
-// returns per-fault first-detection indices. Detected faults are
-// dropped from further simulation (standard fault dropping); the
-// first-detect indices are unaffected by dropping.
+// ParseEngine maps an engine name (as printed by String and accepted by
+// the CLIs) back to the Engine.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if registry[e].name == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("faultsim: unknown engine %q", name)
+}
+
+// Engines lists every registered engine in a stable order (ascending
+// Engine value). It is derived from the registry, so a new registry
+// entry is automatically visible to ParseEngine, the CLIs, and the
+// cross-engine tests.
+func Engines() []Engine {
+	out := make([]Engine, 0, len(registry))
+	for e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Options tunes a run; the zero value selects the defaults.
+type Options struct {
+	// Workers is the goroutine count for the Concurrent engine; <= 0
+	// selects GOMAXPROCS. Other engines ignore it.
+	Workers int
+	// FullCircuit disables cone restriction in the PPSFP and Concurrent
+	// engines: every faulty pass re-evaluates the whole circuit. This is
+	// the pre-cone reference path, kept for cross-checking and for
+	// measuring what the cones buy (see BenchmarkEngines).
+	FullCircuit bool
+}
+
+// Run fault-simulates the ordered patterns against the fault list with
+// default options and returns per-fault first-detection indices.
+// Detected faults are dropped from further simulation where the engine
+// supports it (standard fault dropping); the first-detect indices are
+// unaffected by dropping.
 func Run(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine Engine) (Result, error) {
+	return RunOpts(c, faults, patterns, engine, Options{})
+}
+
+// RunOpts is Run with explicit engine options.
+func RunOpts(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine Engine, opt Options) (Result, error) {
 	if len(patterns) == 0 {
 		return Result{}, fmt.Errorf("faultsim: no patterns")
 	}
-	switch engine {
-	case Serial:
-		return runParallelPattern(c, faults, patterns, false)
-	case PPSFP:
-		return runParallelPattern(c, faults, patterns, true)
-	case Deductive:
-		return runDeductive(c, faults, patterns)
-	default:
+	st, ok := registry[engine]
+	if !ok {
 		return Result{}, fmt.Errorf("faultsim: unknown engine %v", engine)
 	}
-}
-
-// runParallelPattern simulates blocks of 64 patterns. With drop=true,
-// faults already detected are skipped in later blocks (PPSFP); without
-// dropping every fault is simulated against every block (the serial
-// baseline, useful for dictionaries and cross-checking).
-func runParallelPattern(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, drop bool) (Result, error) {
-	sim, err := logicsim.NewSimulator(c)
+	s, err := newSession(c, faults, patterns, opt)
 	if err != nil {
 		return Result{}, err
+	}
+	if err := st.run(s); err != nil {
+		return Result{}, err
+	}
+	return Result{FirstDetect: s.first, Patterns: len(patterns)}, nil
+}
+
+// session carries the state every engine shares: the circuit, the fault
+// list, lazily packed 64-pattern blocks with their good-machine
+// outputs, a lazily built cone set, and the first-detect array the
+// engines fill in.
+type session struct {
+	c        *netlist.Circuit
+	faults   []fault.Fault
+	patterns []logicsim.Pattern
+	opt      Options
+	first    []int
+
+	sim        *logicsim.Simulator
+	cones      *logicsim.ConeSet
+	blocks     []block
+	blocksGood bool // block.good filled in
+}
+
+// block is one packed slab of up to 64 patterns plus its good-machine
+// primary-output words.
+type block struct {
+	pat  logicsim.PatternBlock
+	base int // pattern index of bit 0
+	good []uint64
+}
+
+func newSession(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, opt Options) (*session, error) {
+	for i, f := range faults {
+		if f.Gate < 0 || f.Gate >= len(c.Gates) {
+			return nil, fmt.Errorf("faultsim: fault %d site %d out of range", i, f.Gate)
+		}
+		if f.Pin >= len(c.Gates[f.Gate].Fanin) {
+			return nil, fmt.Errorf("faultsim: fault %d: gate %d has no pin %d", i, f.Gate, f.Pin)
+		}
 	}
 	first := make([]int, len(faults))
 	for i := range first {
 		first[i] = NotDetected
 	}
-	for base := 0; base < len(patterns); base += 64 {
-		end := base + 64
-		if end > len(patterns) {
-			end = len(patterns)
-		}
-		block, err := logicsim.PackPatterns(patterns[base:end])
+	return &session{c: c, faults: faults, patterns: patterns, opt: opt, first: first}, nil
+}
+
+// simulator returns the session's levelized simulator, creating it on
+// first use. Engines that spawn goroutines create their own per-worker
+// simulators instead (the simulator is not safe for concurrent use).
+func (s *session) simulator() (*logicsim.Simulator, error) {
+	if s.sim == nil {
+		sim, err := logicsim.NewSimulator(s.c)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		mask := block.Mask()
-		good, err := sim.Run(block)
+		s.sim = sim
+	}
+	return s.sim, nil
+}
+
+// coneSet returns the circuit's fault-site cones, built on first use
+// and cached on the circuit across sessions. The set is immutable and
+// shared across workers.
+func (s *session) coneSet() (*logicsim.ConeSet, error) {
+	if s.cones == nil {
+		cs, err := logicsim.ConeSetFor(s.c)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		goodCopy := append([]uint64(nil), good...)
-		for fi, f := range faults {
-			if drop && first[fi] != NotDetected {
-				continue
+		s.cones = cs
+	}
+	return s.cones, nil
+}
+
+// packBlocks packs the pattern sequence into 64-wide blocks, once per
+// session. needGood additionally records each block's good-machine
+// primary-output words — only the full-circuit diff path reads them;
+// the cone engines diff against the simulator's saved values and would
+// otherwise pay one wasted good simulation per block.
+func (s *session) packBlocks(needGood bool) ([]block, error) {
+	if s.blocks == nil {
+		for base := 0; base < len(s.patterns); base += 64 {
+			end := base + 64
+			if end > len(s.patterns) {
+				end = len(s.patterns)
 			}
-			bad, err := sim.RunWithFault(block, f.Gate, f.Pin, f.Stuck)
+			pat, err := logicsim.PackPatterns(s.patterns[base:end])
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
-			var diff uint64
-			for o := range bad {
-				diff |= (bad[o] ^ goodCopy[o]) & mask
-			}
-			if diff != 0 {
-				p := base + bits.TrailingZeros64(diff)
-				if first[fi] == NotDetected || p < first[fi] {
-					first[fi] = p
-				}
-			}
+			s.blocks = append(s.blocks, block{pat: pat, base: base})
 		}
 	}
-	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+	if needGood && !s.blocksGood {
+		sim, err := s.simulator()
+		if err != nil {
+			return nil, err
+		}
+		for i := range s.blocks {
+			good, err := sim.Run(s.blocks[i].pat)
+			if err != nil {
+				return nil, err
+			}
+			s.blocks[i].good = good
+		}
+		s.blocksGood = true
+	}
+	return s.blocks, nil
+}
+
+// detect records that fault fi is detected by pattern p, keeping the
+// earliest index. Not safe for concurrent use on the same fault index;
+// the concurrent engine partitions the fault list so each index has one
+// writer.
+func (s *session) detect(fi, p int) {
+	if s.first[fi] == NotDetected || p < s.first[fi] {
+		s.first[fi] = p
+	}
+}
+
+// alive reports whether fault fi is still undetected (the fault-
+// dropping predicate).
+func (s *session) alive(fi int) bool { return s.first[fi] == NotDetected }
+
+// anyAlive reports whether any fault remains undetected, letting
+// dropping engines skip the dead tail of a long pattern set.
+func (s *session) anyAlive() bool {
+	for _, d := range s.first {
+		if d == NotDetected {
+			return true
+		}
+	}
+	return false
 }

@@ -1,7 +1,6 @@
 package faultsim
 
 import (
-	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -11,64 +10,52 @@ import (
 	"repro/internal/netlist"
 )
 
-// RunConcurrent is PPSFP distributed over a goroutine pool: the fault
-// list is sharded across workers, each with its own simulator (the
-// levelized simulator is not safe for concurrent use). Results are
+// RunConcurrent is cone-restricted PPSFP distributed over a goroutine
+// pool: the fault list is sharded across workers, each with its own
+// simulator (the levelized simulator is not safe for concurrent use)
+// but sharing the packed blocks and the immutable cone set. Results are
 // identical to the serial engines; only wall-clock changes. workers <=
 // 0 selects GOMAXPROCS.
 func RunConcurrent(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, workers int) (Result, error) {
-	if len(patterns) == 0 {
-		return Result{}, fmt.Errorf("faultsim: no patterns")
-	}
+	return RunOpts(c, faults, patterns, Concurrent, Options{Workers: workers})
+}
+
+// runConcurrent implements the Concurrent engine. Each worker owns a
+// contiguous fault shard, so every first-detect slot has exactly one
+// writer and fault dropping works shard-locally without synchronization.
+func runConcurrent(s *session) error {
+	workers := s.opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(faults) {
-		workers = len(faults)
+	if workers > len(s.faults) {
+		workers = len(s.faults)
 	}
 	if workers <= 1 {
-		return runParallelPattern(c, faults, patterns, true)
+		return s.runParallelPattern(true, !s.opt.FullCircuit)
 	}
-	// Pre-pack blocks and good outputs once (read-only afterwards).
-	type packed struct {
-		block logicsim.PatternBlock
-		good  []uint64
-	}
-	setupSim, err := logicsim.NewSimulator(c)
+	blocks, err := s.packBlocks(s.opt.FullCircuit)
 	if err != nil {
-		return Result{}, err
+		return err
 	}
-	var blocks []packed
-	for base := 0; base < len(patterns); base += 64 {
-		end := base + 64
-		if end > len(patterns) {
-			end = len(patterns)
+	cone := !s.opt.FullCircuit
+	var cones *logicsim.ConeSet
+	if cone {
+		if cones, err = s.coneSet(); err != nil {
+			return err
 		}
-		block, err := logicsim.PackPatterns(patterns[base:end])
-		if err != nil {
-			return Result{}, err
-		}
-		good, err := setupSim.Run(block)
-		if err != nil {
-			return Result{}, err
-		}
-		blocks = append(blocks, packed{block: block, good: append([]uint64(nil), good...)})
-	}
-	first := make([]int, len(faults))
-	for i := range first {
-		first[i] = NotDetected
 	}
 	var (
 		wg       sync.WaitGroup
 		firstErr error
 		errOnce  sync.Once
 	)
-	chunk := (len(faults) + workers - 1) / workers
+	chunk := (len(s.faults) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(faults) {
-			hi = len(faults)
+		if hi > len(s.faults) {
+			hi = len(s.faults)
 		}
 		if lo >= hi {
 			break
@@ -76,37 +63,37 @@ func RunConcurrent(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			sim, err := logicsim.NewSimulator(c)
+			sim, err := logicsim.NewSimulator(s.c)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
-			for fi := lo; fi < hi; fi++ {
-				f := faults[fi]
-				for bi := range blocks {
-					if first[fi] != NotDetected {
-						break // fault dropping within the shard
+			for bi := range blocks {
+				b := &blocks[bi]
+				ran := false // good machine not yet established for this block
+				for fi := lo; fi < hi; fi++ {
+					if !s.alive(fi) {
+						continue
 					}
-					bad, err := sim.RunWithFault(blocks[bi].block, f.Gate, f.Pin, f.Stuck)
+					if cones != nil && !ran {
+						if _, err := sim.Run(b.pat); err != nil {
+							errOnce.Do(func() { firstErr = err })
+							return
+						}
+						ran = true
+					}
+					diff, err := s.diffFault(sim, cones, b, fi)
 					if err != nil {
 						errOnce.Do(func() { firstErr = err })
 						return
 					}
-					mask := blocks[bi].block.Mask()
-					var diff uint64
-					for o := range bad {
-						diff |= (bad[o] ^ blocks[bi].good[o]) & mask
-					}
 					if diff != 0 {
-						first[fi] = bi*64 + bits.TrailingZeros64(diff)
+						s.detect(fi, b.base+bits.TrailingZeros64(diff))
 					}
 				}
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return Result{}, firstErr
-	}
-	return Result{FirstDetect: first, Patterns: len(patterns)}, nil
+	return firstErr
 }

@@ -1,0 +1,82 @@
+package faultsim
+
+import (
+	"math/bits"
+
+	"repro/internal/logicsim"
+)
+
+// diffFault simulates fault fi against one block and returns the word
+// whose bit p is set iff pattern p of the block detects the fault.
+// With cones non-nil the pass is cone-restricted, and the simulator
+// must already hold the block's good-machine values (RunWithFaultCone
+// restores them, so consecutive calls share one good evaluation); with
+// cones nil it is the full-circuit reference path diffing the stored
+// good outputs. This is the single copy of the diff-and-detect rule
+// every parallel-pattern engine (serial, ppsfp, concurrent) runs on.
+func (s *session) diffFault(sim *logicsim.Simulator, cones *logicsim.ConeSet, b *block, fi int) (uint64, error) {
+	f := s.faults[fi]
+	if cones != nil {
+		return sim.RunWithFaultCone(f.Gate, f.Pin, f.Stuck, cones.Cone(f.Gate), nil)
+	}
+	bad, err := sim.RunWithFault(b.pat, f.Gate, f.Pin, f.Stuck)
+	if err != nil {
+		return 0, err
+	}
+	mask := b.pat.Mask()
+	var diff uint64
+	for o := range bad {
+		diff |= (bad[o] ^ b.good[o]) & mask
+	}
+	return diff, nil
+}
+
+// runParallelPattern is the parallel-pattern engine family: 64 patterns
+// per machine word, one fault injected at a time. drop skips faults
+// already detected in earlier blocks (PPSFP fault dropping; without it
+// every fault meets every block, the serial baseline). cone restricts
+// each faulty pass to the fault's output cone on top of the block's
+// good-machine values instead of re-evaluating the whole circuit.
+func (s *session) runParallelPattern(drop, cone bool) error {
+	blocks, err := s.packBlocks(!cone)
+	if err != nil {
+		return err
+	}
+	sim, err := s.simulator()
+	if err != nil {
+		return err
+	}
+	var cones *logicsim.ConeSet
+	if cone {
+		if cones, err = s.coneSet(); err != nil {
+			return err
+		}
+	}
+	for bi := range blocks {
+		b := &blocks[bi]
+		if drop && !s.anyAlive() {
+			break // everything detected; skip the dead tail
+		}
+		if cone {
+			// (Re-)establish the good machine for this block; the cone
+			// runs save and restore it, so one evaluation serves every
+			// surviving fault.
+			if _, err := sim.Run(b.pat); err != nil {
+				return err
+			}
+		}
+		for fi := range s.faults {
+			if drop && !s.alive(fi) {
+				continue
+			}
+			diff, err := s.diffFault(sim, cones, b, fi)
+			if err != nil {
+				return err
+			}
+			if diff != 0 {
+				s.detect(fi, b.base+bits.TrailingZeros64(diff))
+			}
+		}
+	}
+	return nil
+}

@@ -1,7 +1,7 @@
 package faultsim
 
 import (
-	"math/bits"
+	"fmt"
 
 	"repro/internal/fault"
 	"repro/internal/logicsim"
@@ -14,58 +14,72 @@ import (
 // strobe ("on the first pattern at which the tester strobed the chip
 // output"), so the lot experiment needs first-detection indices at
 // strobe granularity: step = pattern*numOutputs + outputIndex.
+//
+// The first failing strobe factors: its pattern is the fault's ordinary
+// first-detect pattern, and its output is the lowest-indexed output the
+// fault flips on that pattern. So RunSteps runs any pattern-level
+// engine first and then refines each detected fault with a single
+// cone-restricted re-simulation of its detecting pattern — strobe
+// granularity costs one extra cone pass per detected fault instead of a
+// dedicated engine.
 
 // RunSteps fault-simulates the ordered patterns with per-strobe
-// granularity. The returned Result counts steps, not patterns:
-// Result.Patterns = len(patterns) * len(c.Outputs) and FirstDetect
-// holds step indices.
+// granularity using the default engine. The returned Result counts
+// steps, not patterns: Result.Patterns = len(patterns)*len(c.Outputs)
+// and FirstDetect holds step indices.
 func RunSteps(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) (Result, error) {
-	sim, err := logicsim.NewSimulator(c)
+	return RunStepsOpts(c, faults, patterns, PPSFP, Options{})
+}
+
+// RunStepsOpts is RunSteps with an explicit pattern-level engine.
+func RunStepsOpts(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine Engine, opt Options) (Result, error) {
+	res, err := RunOpts(c, faults, patterns, engine, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	nOut := len(c.Outputs)
 	first := make([]int, len(faults))
-	for i := range first {
-		first[i] = NotDetected
+	byPattern := make(map[int][]int)
+	for fi, p := range res.FirstDetect {
+		first[fi] = NotDetected
+		if p != NotDetected {
+			byPattern[p] = append(byPattern[p], fi)
+		}
 	}
-	for base := 0; base < len(patterns); base += 64 {
-		end := base + 64
-		if end > len(patterns) {
-			end = len(patterns)
-		}
-		block, err := logicsim.PackPatterns(patterns[base:end])
+	sim, err := logicsim.NewSimulator(c)
+	if err != nil {
+		return Result{}, err
+	}
+	cones, err := logicsim.ConeSetFor(c)
+	if err != nil {
+		return Result{}, err
+	}
+	outDiffs := make([]uint64, nOut)
+	for p, fis := range byPattern {
+		blk, err := logicsim.PackPatterns([]logicsim.Pattern{patterns[p]})
 		if err != nil {
 			return Result{}, err
 		}
-		mask := block.Mask()
-		good, err := sim.Run(block)
-		if err != nil {
+		if _, err := sim.Run(blk); err != nil {
 			return Result{}, err
 		}
-		goodCopy := append([]uint64(nil), good...)
-		for fi, f := range faults {
-			if first[fi] != NotDetected {
-				continue
-			}
-			bad, err := sim.RunWithFault(block, f.Gate, f.Pin, f.Stuck)
+		for _, fi := range fis {
+			f := faults[fi]
+			cone := cones.Cone(f.Gate)
+			diff, err := sim.RunWithFaultCone(f.Gate, f.Pin, f.Stuck, cone, outDiffs)
 			if err != nil {
 				return Result{}, err
 			}
-			best := -1
-			for o := range bad {
-				diff := (bad[o] ^ goodCopy[o]) & mask
-				if diff == 0 {
-					continue
-				}
-				p := base + bits.TrailingZeros64(diff)
-				step := p*nOut + o
-				if best < 0 || step < best {
-					best = step
-				}
+			if diff == 0 {
+				return Result{}, fmt.Errorf("faultsim: %v engine detected fault %d at pattern %d but re-simulation does not", engine, fi, p)
 			}
-			if best >= 0 {
-				first[fi] = best
+			// cone.Outputs ascends, so the first differing entry is the
+			// first strobed output the fault flips.
+			for _, oi := range cone.Outputs {
+				if outDiffs[oi]&1 != 0 {
+					first[fi] = p*nOut + oi
+					break
+				}
 			}
 		}
 	}
@@ -75,7 +89,12 @@ func RunSteps(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Patt
 // StepCoverageCurve fault-simulates at strobe granularity and returns
 // the cumulative coverage after every step.
 func StepCoverageCurve(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern) ([]CoveragePoint, Result, error) {
-	res, err := RunSteps(c, faults, patterns)
+	return StepCoverageCurveOpts(c, faults, patterns, PPSFP, Options{})
+}
+
+// StepCoverageCurveOpts is StepCoverageCurve with an explicit engine.
+func StepCoverageCurveOpts(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, engine Engine, opt Options) ([]CoveragePoint, Result, error) {
+	res, err := RunStepsOpts(c, faults, patterns, engine, opt)
 	if err != nil {
 		return nil, Result{}, err
 	}

@@ -1,0 +1,261 @@
+package logicsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Cone is the output cone of a fault site: every gate whose value the
+// site can influence, and every primary output the site can reach. A
+// single stuck-at fault anywhere on a gate (stem or input pin) can only
+// disturb this set, so a fault simulator that has the good-machine
+// values in hand needs to re-evaluate the cone and diff the reachable
+// outputs — nothing else.
+type Cone struct {
+	// Gates lists the cone in topological evaluation order. The site
+	// itself is always first (everything else is a strict successor).
+	Gates []int
+	// Outputs lists the indices into Circuit.Outputs (not gate IDs) of
+	// the primary outputs reachable from the site, ascending.
+	Outputs []int
+	// OutPos[j] is the position within Gates of the gate driving
+	// Outputs[j], so diffing needs no per-gate output lookup.
+	OutPos []int
+}
+
+// ConeSet precomputes the output cone of every gate of a circuit. The
+// set is immutable after construction and safe for concurrent readers,
+// so one ConeSet can back a pool of per-goroutine simulators. Memory is
+// O(sum of cone sizes), which is fine for the generated circuit
+// families used here (thousands of gates); truly huge netlists would
+// want a lazy variant.
+type ConeSet struct {
+	cones []Cone
+}
+
+// NewConeSet levelizes the circuit and builds all cones.
+func NewConeSet(c *netlist.Circuit) (*ConeSet, error) {
+	order, err := c.Order()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(c.Gates))
+	for i, id := range order {
+		pos[id] = i
+	}
+	outIdx := make([]int, len(c.Gates))
+	for i := range outIdx {
+		outIdx[i] = -1
+	}
+	for oi, o := range c.Outputs {
+		outIdx[o] = oi
+	}
+	cs := &ConeSet{cones: make([]Cone, len(c.Gates))}
+	mark := make([]int, len(c.Gates))
+	for i := range mark {
+		mark[i] = -1
+	}
+	queue := make([]int, 0, len(c.Gates))
+	for site := range c.Gates {
+		queue = queue[:0]
+		queue = append(queue, site)
+		mark[site] = site
+		// Collect topological positions, sort those as plain ints, and
+		// map back through order — cheaper than a comparison sort with
+		// an indirect less function.
+		positions := []int{pos[site]}
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, fo := range c.Gates[id].Fanout {
+				if mark[fo] != site {
+					mark[fo] = site
+					positions = append(positions, pos[fo])
+					queue = append(queue, fo)
+				}
+			}
+		}
+		sort.Ints(positions)
+		gates := make([]int, len(positions))
+		var outs, outPos []int
+		for i, p := range positions {
+			g := order[p]
+			gates[i] = g
+			if outIdx[g] >= 0 {
+				outs = append(outs, outIdx[g])
+				outPos = append(outPos, i)
+			}
+		}
+		// Keep Outputs ascending (consumers rely on it to find the
+		// first strobed output), carrying the positions along.
+		sort.Sort(&outPair{outs, outPos})
+		cs.cones[site] = Cone{Gates: gates, Outputs: outs, OutPos: outPos}
+	}
+	return cs, nil
+}
+
+// outPair sorts the parallel (Outputs, OutPos) slices by output index.
+type outPair struct{ outs, pos []int }
+
+func (p *outPair) Len() int           { return len(p.outs) }
+func (p *outPair) Less(a, b int) bool { return p.outs[a] < p.outs[b] }
+func (p *outPair) Swap(a, b int) {
+	p.outs[a], p.outs[b] = p.outs[b], p.outs[a]
+	p.pos[a], p.pos[b] = p.pos[b], p.pos[a]
+}
+
+// ConeSetFor returns the circuit's cone set, building it on first use
+// and caching it on the circuit (the cache is dropped automatically on
+// mutation). Callers that fault-simulate the same circuit many times —
+// ATPG fault-dropping loops, coverage ramps, benchmark reruns — pay
+// for construction once.
+func ConeSetFor(c *netlist.Circuit) (*ConeSet, error) {
+	if cs, ok := c.SimCache().(*ConeSet); ok {
+		return cs, nil
+	}
+	cs, err := NewConeSet(c)
+	if err != nil {
+		return nil, err
+	}
+	c.SetSimCache(cs)
+	return cs, nil
+}
+
+// Cone returns the output cone of the gate. Both stem faults and
+// input-pin faults of a gate disturb the gate's own output first, so
+// the same cone serves every fault on the gate.
+func (cs *ConeSet) Cone(gate int) Cone { return cs.cones[gate] }
+
+// Size reports the total number of (gate, cone) memberships, a measure
+// of how much work cone-restricted simulation saves versus full-circuit
+// passes (full = gates × gates).
+func (cs *ConeSet) Size() int {
+	n := 0
+	for _, cone := range cs.cones {
+		n += len(cone.Gates)
+	}
+	return n
+}
+
+// RunWithFaultCone re-simulates a single stuck-at fault on top of the
+// good-machine state left in the simulator by the immediately preceding
+// Run call: only the fault's output cone is re-evaluated (in place,
+// with the good values saved and restored), and only the reachable
+// primary outputs are diffed. An inactive fault — the forced value
+// equals the good value on every pattern of the block — returns
+// immediately without touching the cone.
+//
+// The returned word has bit p set iff pattern p of the block produces a
+// different value on some reachable output; if outDiffs is non-nil it
+// must have one slot per primary output, and the slots of every
+// reachable output are overwritten with that output's diff word
+// (unreachable outputs are left untouched — they cannot differ).
+//
+// The fault convention matches RunWithFault: pin < 0 is a stem fault on
+// the gate's output, pin >= 0 forces input pin `pin` of gate `site`.
+// After the call the simulator again holds the good-machine values, so
+// cone runs for many faults can share one good-machine evaluation.
+func (s *Simulator) RunWithFaultCone(site, pin int, stuck bool, cone Cone, outDiffs []uint64) (uint64, error) {
+	if site < 0 || site >= len(s.c.Gates) {
+		return 0, fmt.Errorf("logicsim: fault site %d out of range", site)
+	}
+	if len(cone.Gates) == 0 || cone.Gates[0] != site {
+		return 0, fmt.Errorf("logicsim: cone does not start at fault site %d", site)
+	}
+	if s.mask == 0 {
+		// A real Run always leaves a non-zero mask; catching the
+		// violated precondition beats silently reporting every fault
+		// undetected.
+		return 0, fmt.Errorf("logicsim: RunWithFaultCone requires a preceding Run")
+	}
+	g := &s.c.Gates[site]
+	var stuckWord uint64
+	if stuck {
+		stuckWord = ^uint64(0)
+	}
+	var v uint64
+	if pin >= 0 {
+		if pin >= len(g.Fanin) {
+			return 0, fmt.Errorf("logicsim: gate %d has no pin %d", site, pin)
+		}
+		v = evalWithForcedPin(g.Type, g.Fanin, s.val, pin, stuckWord)
+	} else {
+		v = stuckWord // stem fault forces the output outright
+	}
+	if outDiffs != nil {
+		for _, oi := range cone.Outputs {
+			outDiffs[oi] = 0
+		}
+	}
+	val := s.val
+	if v == val[site] {
+		return 0, nil // fault not activated by any pattern of the block
+	}
+	if cap(s.saved) < len(cone.Gates) {
+		s.saved = make([]uint64, len(s.c.Gates))
+	}
+	saved := s.saved[:len(cone.Gates)]
+	saved[0] = val[site]
+	val[site] = v
+	// One linear pass over the cone in topological order. The common
+	// 1- and 2-input gates are evaluated inline; everything is plain
+	// sequential loads/stores, which beats cleverer event scheduling
+	// when 64 patterns ride in each word (some pattern almost always
+	// keeps the fault effect alive).
+	for k := 1; k < len(cone.Gates); k++ {
+		id := cone.Gates[k]
+		gg := &s.c.Gates[id]
+		fanin := gg.Fanin
+		var nv uint64
+		switch len(fanin) {
+		case 2:
+			a, b := val[fanin[0]], val[fanin[1]]
+			switch gg.Type {
+			case netlist.And:
+				nv = a & b
+			case netlist.Nand:
+				nv = ^(a & b)
+			case netlist.Or:
+				nv = a | b
+			case netlist.Nor:
+				nv = ^(a | b)
+			case netlist.Xor:
+				nv = a ^ b
+			case netlist.Xnor:
+				nv = ^(a ^ b)
+			default:
+				nv = eval(gg.Type, fanin, val)
+			}
+		case 1:
+			switch gg.Type {
+			case netlist.Not:
+				nv = ^val[fanin[0]]
+			case netlist.Buf:
+				nv = val[fanin[0]]
+			default:
+				nv = eval(gg.Type, fanin, val)
+			}
+		default:
+			nv = eval(gg.Type, fanin, val)
+		}
+		saved[k] = val[id]
+		val[id] = nv
+	}
+	// Diff the reachable outputs directly via their cone positions,
+	// then restore the good machine with a branch-free copy-back.
+	var diff uint64
+	for j, oi := range cone.Outputs {
+		k := cone.OutPos[j]
+		d := (val[cone.Gates[k]] ^ saved[k]) & s.mask
+		diff |= d
+		if outDiffs != nil {
+			outDiffs[oi] = d
+		}
+	}
+	for k, id := range cone.Gates {
+		val[id] = saved[k]
+	}
+	return diff, nil
+}

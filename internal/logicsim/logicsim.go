@@ -6,7 +6,10 @@
 //   - a scalar three-valued (0/1/X) simulator used by the PODEM test
 //     generator's implication step;
 //   - an event-driven simulator that only re-evaluates gates whose
-//     inputs changed, with activity accounting.
+//     inputs changed, with activity accounting;
+//   - precomputed per-gate output cones (ConeSet) and cone-restricted
+//     faulty re-simulation (RunWithFaultCone), the structural machinery
+//     the fault simulator's fast engines are built on.
 package logicsim
 
 import (
@@ -62,6 +65,8 @@ type Simulator struct {
 	c     *netlist.Circuit
 	order []int
 	val   []uint64
+	mask  uint64   // valid-pattern mask of the last Run block
+	saved []uint64 // scratch for RunWithFaultCone save/restore
 }
 
 // NewSimulator prepares a simulator for the circuit, levelizing it.
@@ -73,7 +78,53 @@ func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
 	return &Simulator{c: c, order: order, val: make([]uint64, len(c.Gates))}, nil
 }
 
-// eval computes a gate's word from its fanin words.
+// EvalWords evaluates one gate of type t over explicit fanin words:
+// the shared bit-parallel gate function, exposed for engines (like the
+// fault simulator's fault-parallel one) that stage fanin words
+// themselves before evaluation.
+func EvalWords(t netlist.GateType, words []uint64) uint64 {
+	switch t {
+	case netlist.Buf:
+		return words[0]
+	case netlist.Not:
+		return ^words[0]
+	case netlist.And, netlist.Nand:
+		v := words[0]
+		for _, w := range words[1:] {
+			v &= w
+		}
+		if t == netlist.Nand {
+			return ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := words[0]
+		for _, w := range words[1:] {
+			v |= w
+		}
+		if t == netlist.Nor {
+			return ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := words[0]
+		for _, w := range words[1:] {
+			v ^= w
+		}
+		if t == netlist.Xnor {
+			return ^v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+	}
+}
+
+// eval computes a gate's word from its fanin words. It is the hot
+// inner loop of every simulator pass, so it indexes val directly
+// instead of staging through EvalWords; the two switches (plus the
+// 1/2-input fast path in RunWithFaultCone) must implement the same
+// gate functions.
 func eval(t netlist.GateType, fanin []int, val []uint64) uint64 {
 	switch t {
 	case netlist.Buf:
@@ -119,6 +170,7 @@ func (s *Simulator) Run(block PatternBlock) ([]uint64, error) {
 	if len(block.Inputs) != len(s.c.Inputs) {
 		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
 	}
+	s.mask = block.Mask()
 	for i, id := range s.c.Inputs {
 		s.val[id] = block.Inputs[i]
 	}
@@ -184,49 +236,24 @@ func (s *Simulator) RunWithFault(block PatternBlock, site, pin int, stuck bool) 
 	return out, nil
 }
 
-// evalWithForcedPin evaluates a gate with one fanin word replaced.
+// evalWithForcedPin evaluates a gate with one fanin word replaced. It
+// stages the fanin words and defers to EvalWords — this path runs once
+// per fault site, not per gate, so the copy is cheap and keeps the
+// gate-function switch in one place.
 func evalWithForcedPin(t netlist.GateType, fanin []int, val []uint64, pin int, forced uint64) uint64 {
-	get := func(i int) uint64 {
+	var stage [8]uint64
+	words := stage[:0]
+	if len(fanin) > len(stage) {
+		words = make([]uint64, 0, len(fanin))
+	}
+	for i, f := range fanin {
+		w := val[f]
 		if i == pin {
-			return forced
+			w = forced
 		}
-		return val[fanin[i]]
+		words = append(words, w)
 	}
-	switch t {
-	case netlist.Buf:
-		return get(0)
-	case netlist.Not:
-		return ^get(0)
-	case netlist.And, netlist.Nand:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v &= get(i)
-		}
-		if t == netlist.Nand {
-			return ^v
-		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v |= get(i)
-		}
-		if t == netlist.Nor {
-			return ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v ^= get(i)
-		}
-		if t == netlist.Xnor {
-			return ^v
-		}
-		return v
-	default:
-		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
-	}
+	return EvalWords(t, words)
 }
 
 // RunSingle simulates one pattern and returns the output bits.

@@ -109,7 +109,23 @@ type Circuit struct {
 	byName map[string]int
 	level  []int // per-gate level (inputs at 0); nil until Levelize
 	order  []int // topological evaluation order; nil until Levelize
+
+	// simCache is an opaque slot for simulator-derived precomputation
+	// over the current structure (e.g. fault-site output cones). Like
+	// the levelization caches above it is dropped on every mutation, so
+	// holders can trust whatever they stored still describes the
+	// circuit. Not synchronized: build caches before sharing a circuit
+	// across goroutines.
+	simCache any
 }
+
+// SimCache returns the opaque simulator cache slot (nil after any
+// mutation).
+func (c *Circuit) SimCache() any { return c.simCache }
+
+// SetSimCache stores simulator-derived precomputation; it is discarded
+// automatically when the circuit is mutated.
+func (c *Circuit) SetSimCache(v any) { c.simCache = v }
 
 // New returns an empty circuit with the given name.
 func New(name string) *Circuit {
@@ -164,6 +180,9 @@ func (c *Circuit) MarkOutput(name string) error {
 		}
 	}
 	c.Outputs = append(c.Outputs, id)
+	// Levelization ignores outputs, but simulator caches (e.g. cone
+	// reachable-output sets) do not — drop them too.
+	c.invalidate()
 	return nil
 }
 
@@ -173,10 +192,12 @@ func (c *Circuit) GateByName(name string) (int, bool) {
 	return id, ok
 }
 
-// invalidate drops cached levelization after a mutation.
+// invalidate drops cached levelization and simulator caches after a
+// mutation.
 func (c *Circuit) invalidate() {
 	c.level = nil
 	c.order = nil
+	c.simCache = nil
 }
 
 // Levelize computes gate levels (longest distance from any primary
