@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke cover bench
+.PHONY: verify build vet test smoke cover bench race sweep-smoke
 
 # Tier-1 verification plus vet: what CI runs.
 verify: build vet test smoke
@@ -28,3 +28,14 @@ cover:
 # Reproduction log: one benchmark per table/figure of the paper.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Race-detect the concurrent layers: the sweep worker pool and the lot
+# experiment it drives (-short skips the multi-second Monte-Carlo run).
+race:
+	$(GO) test -race -short ./internal/sweep/ ./internal/experiment/
+
+# Tiny end-to-end Monte-Carlo grid through the real CLI: seconds, not
+# minutes, yet it exercises ATPG, the ramp, the pool, and every format.
+sweep-smoke:
+	$(GO) run ./cmd/sweep -width 4 -random 32 -yields 0.2 -n0s 3 -chips 80 \
+		-coverages 0.3,0.6 -replicates 4 -workers 2 -seed 7 -format table

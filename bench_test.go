@@ -17,6 +17,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
+	"repro/internal/sweep"
 )
 
 // once guards the one-time headline printouts so -benchtime doesn't
@@ -268,5 +269,43 @@ func BenchmarkYieldN0Study(b *testing.B) {
 		if _, err := experiment.YieldN0Study(c, d0as, 3, 500, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweep measures the Monte-Carlo sweep engine's replicate
+// throughput as the worker pool scales: the once-per-circuit work
+// (ATPG, coverage ramp) is excluded via a pre-built Sweeper, so the
+// replicates/s metric isolates the fan-out hot path (lot manufacture,
+// first-fail testing, per-cut reduction).
+func BenchmarkSweep(b *testing.B) {
+	c, err := netlist.ArrayMultiplier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sweep.Config{
+				Circuit:        c,
+				Yields:         []float64{0.07},
+				N0s:            []float64{8.8},
+				LotSizes:       []int{500},
+				Coverages:      []float64{0.5, 0.8},
+				Replicates:     32,
+				Workers:        workers,
+				RandomPatterns: 64,
+				Seed:           1981,
+			}
+			s, err := sweep.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.Replicates*b.N)/b.Elapsed().Seconds(), "replicates/s")
+		})
 	}
 }

@@ -27,13 +27,7 @@ func main() {
 	physical := flag.Bool("physical", false, "generate the lot through the physical-defect layer")
 	flag.Parse()
 
-	c, err := netlist.ArrayMultiplier(*width)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lotsim:", err)
-		os.Exit(1)
-	}
 	cfg := experiment.Table1Config{
-		Circuit:        c,
 		Chips:          *chips,
 		Yield:          *yield,
 		N0:             *n0,
@@ -41,6 +35,18 @@ func main() {
 		Seed:           *seed,
 		Physical:       *physical,
 	}
+	// Fail fast on nonsense parameters before synthesizing the circuit
+	// or running any ATPG.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "lotsim:", err)
+		os.Exit(1)
+	}
+	c, err := netlist.ArrayMultiplier(*width)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotsim:", err)
+		os.Exit(1)
+	}
+	cfg.Circuit = c
 	res, err := experiment.RunTable1(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)

@@ -1,0 +1,151 @@
+// Command sweep runs the Monte-Carlo reject-rate validation: R
+// replicate lots per grid cell of (yield, n0, lot size), each tested
+// with the shared production program truncated at a set of coverage
+// points, aggregated into mean reject rates with 95% confidence
+// intervals and overlaid on the analytic Eq. 8 curve.
+//
+//	sweep -yields 0.07 -n0s 8,8.8 -chips 6000 -coverages 0.8,0.94 -replicates 30
+//	sweep -format csv > sweep.csv
+//	sweep -format json -workers 8 -engine concurrent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/sweep"
+)
+
+func main() {
+	yields := flag.String("yields", "0.07", "comma-separated ground-truth yields")
+	n0s := flag.String("n0s", "8.8", "comma-separated ground-truth n0 values")
+	chips := flag.String("chips", "2000", "comma-separated lot sizes")
+	coverages := flag.String("coverages", "0.5,0.8,0.94", "comma-separated coverage truncation targets")
+	replicates := flag.Int("replicates", 20, "independent lots per grid cell")
+	workers := flag.Int("workers", 0, "replicate worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1981, "base seed; per-replicate seeds are derived deterministically")
+	random := flag.Int("random", 192, "random patterns before PODEM cleanup")
+	width := flag.Int("width", 8, "array-multiplier width of the DUT")
+	physical := flag.Bool("physical", false, "generate lots through the physical-defect layer")
+	engineName := flag.String("engine", "ppsfp", "fault-simulation engine: serial, ppsfp, deductive, pf, concurrent")
+	simWorkers := flag.Int("simworkers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "output format: table, csv, json")
+	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
+	flag.Parse()
+
+	if err := run(*yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
+		*random, *width, *physical, *engineName, *simWorkers, *format, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(yields, n0s, chips, coverages string, replicates, workers int, seed int64,
+	random, width int, physical bool, engineName string, simWorkers int, format string, plot bool) error {
+	ys, err := parseFloats(yields)
+	if err != nil {
+		return fmt.Errorf("-yields: %w", err)
+	}
+	ns, err := parseFloats(n0s)
+	if err != nil {
+		return fmt.Errorf("-n0s: %w", err)
+	}
+	lots, err := parseInts(chips)
+	if err != nil {
+		return fmt.Errorf("-chips: %w", err)
+	}
+	covs, err := parseFloats(coverages)
+	if err != nil {
+		return fmt.Errorf("-coverages: %w", err)
+	}
+	engine, err := faultsim.ParseEngine(engineName)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, or json)", format)
+	}
+	cfg := sweep.Config{
+		Yields:         ys,
+		N0s:            ns,
+		LotSizes:       lots,
+		Coverages:      covs,
+		Replicates:     replicates,
+		Workers:        workers,
+		RandomPatterns: random,
+		Seed:           seed,
+		Physical:       physical,
+		Engine:         engine,
+		SimWorkers:     simWorkers,
+	}
+	// Fail fast on nonsense grids before synthesizing the circuit or
+	// running any ATPG.
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg.Circuit, err = netlist.ArrayMultiplier(width)
+	if err != nil {
+		return err
+	}
+	res, err := sweep.Run(cfg)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		fmt.Print(res.CSV())
+	case "json":
+		out, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	default:
+		fmt.Println(res.Table())
+		if plot {
+			fmt.Println(res.Plot())
+		}
+	}
+	return nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

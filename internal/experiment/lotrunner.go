@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/atpg"
+	"repro/internal/defect"
+	"repro/internal/estimate"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tester"
+)
+
+// LotRunner holds the expensive once-per-circuit state of the §5
+// experiment — the circuit, its collapsed fault universe, the ordered
+// production test set, the strobe-granular coverage ramp, and the ATE
+// with its pre-simulated good machine — so that many lots (different
+// yields, n0s, lot sizes, seeds) can be manufactured and tested against
+// the same test program without repeating ATPG or fault simulation.
+// RunTable1 runs one lot through it; internal/sweep fans out thousands.
+//
+// A LotRunner is safe for concurrent RunLot calls: the shared state is
+// read-only after construction except the ATE's simulator, so each
+// RunLot builds its own tester over the shared pattern set. To amortize
+// the good-machine pre-simulation too, each worker goroutine should
+// clone one ATE via NewATE and pass it to RunLotWith.
+type LotRunner struct {
+	cfg         Table1Config
+	circuit     *netlist.Circuit
+	stats       netlist.Stats
+	universe    []fault.Fault
+	patterns    []logicsim.Pattern
+	curve       []faultsim.CoveragePoint // strobe-granular ramp
+	simRes      faultsim.Result
+	checkpoints []int // Table 1 reduction points on the ramp
+}
+
+// NewLotRunner validates the configuration and performs the
+// once-per-circuit work: test-set construction (ATPG) and the
+// strobe-granular coverage ramp.
+func NewLotRunner(cfg Table1Config) (*LotRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.Circuit
+	if c == nil {
+		var err error
+		c, err = netlist.ArrayMultiplier(8)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats, err := c.ComputeStats()
+	if err != nil {
+		return nil, err
+	}
+	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	// Ordered pattern set in production order: bring-up patterns and
+	// rising-weight random first (gentle early ramp, like the
+	// initialization sequence before the paper's first strobe), uniform
+	// random, then deterministic cleanup.
+	patterns, err := atpg.ProductionTestsEngine(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed,
+		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
+	if err != nil {
+		return nil, err
+	}
+	// Coverage ramp at strobe granularity (pattern × output), the
+	// bookkeeping the Sentry used for Table 1.
+	curve, simRes, err := faultsim.StepCoverageCurveOpts(c, universe, patterns,
+		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
+	if err != nil {
+		return nil, err
+	}
+	return &LotRunner{
+		cfg:      cfg,
+		circuit:  c,
+		stats:    stats,
+		universe: universe,
+		patterns: patterns,
+		curve:    curve,
+		simRes:   simRes,
+		// Ten Table 1 checkpoints spread over the ramp; depends only on
+		// the curve, so compute once here rather than per lot.
+		checkpoints: rampCheckpoints(curve, 10),
+	}, nil
+}
+
+// Circuit returns the circuit under test.
+func (lr *LotRunner) Circuit() *netlist.Circuit { return lr.circuit }
+
+// Stats returns the circuit statistics.
+func (lr *LotRunner) Stats() netlist.Stats { return lr.stats }
+
+// FaultCount returns the size of the collapsed fault universe.
+func (lr *LotRunner) FaultCount() int { return len(lr.universe) }
+
+// Patterns returns the number of test patterns in the production set.
+func (lr *LotRunner) Patterns() int { return len(lr.patterns) }
+
+// Curve returns the strobe-granular cumulative coverage ramp.
+func (lr *LotRunner) Curve() []faultsim.CoveragePoint { return lr.curve }
+
+// FinalCoverage returns the pattern set's final fault coverage.
+func (lr *LotRunner) FinalCoverage() float64 { return lr.simRes.Coverage() }
+
+// NewATE builds a tester over the shared pattern set, pre-simulating
+// the good machine. One ATE serves any number of sequential RunLotWith
+// calls; concurrent callers need one each.
+func (lr *LotRunner) NewATE() (*tester.ATE, error) {
+	return tester.New(lr.circuit, lr.patterns)
+}
+
+// LotOutcome is one manufactured-and-tested lot: the raw step-granular
+// first-fail record plus the Table 1 reduction the estimators consume.
+type LotOutcome struct {
+	// Chips is the lot size, Good the number of fault-free chips.
+	Chips, Good int
+	// TrueN0 is the lot's empirical mean fault count on defective chips.
+	TrueN0 float64
+	// LotYield is the achieved fraction of fault-free chips.
+	LotYield float64
+	// TestedYield is the fraction passing the whole pattern set.
+	TestedYield float64
+	// Escapes counts defective chips that passed every pattern.
+	Escapes int
+	// FirstFail[i] is chip i's first failing strobe step (pattern ×
+	// output granularity), or tester.NeverFails.
+	FirstFail []int
+	// Rows is the Table 1 fallout reduction at the ramp checkpoints.
+	Rows []tester.FalloutRow
+	// Curve is Rows in the estimators' input format.
+	Curve estimate.Curve
+}
+
+// RunLot manufactures and tests one lot at the given ground truth,
+// building a fresh ATE. Seed controls only the lot, not the test set.
+func (lr *LotRunner) RunLot(y, n0 float64, chips int, seed int64) (LotOutcome, error) {
+	ate, err := lr.NewATE()
+	if err != nil {
+		return LotOutcome{}, err
+	}
+	return lr.RunLotWith(ate, y, n0, chips, seed)
+}
+
+// RunLotWith is RunLot against a caller-held ATE (from NewATE), letting
+// worker goroutines amortize the good-machine pre-simulation across
+// many replicates.
+func (lr *LotRunner) RunLotWith(ate *tester.ATE, y, n0 float64, chips int, seed int64) (LotOutcome, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var lot defect.Lot
+	var err error
+	if lr.cfg.Physical {
+		model, err := physicalFor(y, n0)
+		if err != nil {
+			return LotOutcome{}, err
+		}
+		lot, err = defect.GenerateLot(model, lr.universe, chips, rng)
+		if err != nil {
+			return LotOutcome{}, err
+		}
+	} else {
+		lot, err = defect.GenerateLotFromModel(y, n0, lr.universe, chips, rng)
+		if err != nil {
+			return LotOutcome{}, err
+		}
+	}
+	lotRes, err := ate.TestLotSteps(lot)
+	if err != nil {
+		return LotOutcome{}, err
+	}
+	// Reduce to Table 1 format at the precomputed ramp checkpoints.
+	rows, err := tester.FalloutTable(lotRes, lr.curve, lr.checkpoints)
+	if err != nil {
+		return LotOutcome{}, err
+	}
+	estCurve := make(estimate.Curve, len(rows))
+	for i, r := range rows {
+		estCurve[i] = estimate.FalloutPoint{F: r.Coverage, Fail: r.CumFracton}
+	}
+	good := 0
+	for _, ch := range lot.Chips {
+		if !ch.Defective() {
+			good++
+		}
+	}
+	return LotOutcome{
+		Chips:       chips,
+		Good:        good,
+		TrueN0:      lot.MeanFaultsOnDefective(),
+		LotYield:    lot.Yield,
+		TestedYield: lotRes.TestedYield,
+		Escapes:     lotRes.Escapes,
+		FirstFail:   lotRes.FirstFail,
+		Rows:        rows,
+		Curve:       estCurve,
+	}, nil
+}

@@ -2,16 +2,12 @@ package experiment
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/tablefmt"
 	"repro/internal/yield"
 )
-
-// mathLog isolates the single math dependency of table1.go.
-func mathLog(x float64) float64 { return math.Log(x) }
 
 // ShrinkRow is one point of the §8 fine-line study.
 type ShrinkRow struct {

@@ -2,14 +2,12 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"strings"
 
-	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/defect"
 	"repro/internal/estimate"
-	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
 	"repro/internal/tablefmt"
@@ -50,6 +48,30 @@ type Table1Config struct {
 	SimWorkers int
 }
 
+// Validate rejects configurations that would silently produce NaN or
+// empty tables downstream: a non-positive lot, a yield outside (0,1),
+// an n0 below 1 (a defective chip carries at least one fault), a
+// negative pattern budget, or a negative worker count. RunTable1, the
+// sweep engine, and the CLIs all call it before doing any work.
+func (cfg Table1Config) Validate() error {
+	if cfg.Chips <= 0 {
+		return fmt.Errorf("experiment: lot size must be positive, got %d", cfg.Chips)
+	}
+	if !(cfg.Yield > 0 && cfg.Yield < 1) {
+		return fmt.Errorf("experiment: yield must be in (0,1), got %v", cfg.Yield)
+	}
+	if !(cfg.N0 >= 1) || math.IsInf(cfg.N0, 1) {
+		return fmt.Errorf("experiment: n0 must be >= 1 and finite, got %v", cfg.N0)
+	}
+	if cfg.RandomPatterns < 0 {
+		return fmt.Errorf("experiment: random pattern count must be >= 0, got %d", cfg.RandomPatterns)
+	}
+	if cfg.SimWorkers < 0 {
+		return fmt.Errorf("experiment: sim worker count must be >= 0, got %d", cfg.SimWorkers)
+	}
+	return nil
+}
+
 // DefaultTable1Config returns the paper-matched configuration.
 func DefaultTable1Config() Table1Config {
 	return Table1Config{
@@ -87,83 +109,23 @@ type Table1Result struct {
 // generate a circuit, collapse its faults, build an ordered pattern
 // set, fault-simulate the coverage ramp, manufacture a lot with known
 // (yield, n0), first-fail test every chip, reduce to the Table 1
-// fallout format, and estimate n0 back by both methods.
+// fallout format, and estimate n0 back by both methods. The
+// once-per-circuit work lives in LotRunner; RunTable1 is one lot
+// through it plus the estimation pipeline.
 func RunTable1(cfg Table1Config) (Table1Result, error) {
-	if cfg.Chips <= 0 {
-		return Table1Result{}, fmt.Errorf("experiment: lot size must be positive")
-	}
-	c := cfg.Circuit
-	if c == nil {
-		var err error
-		c, err = netlist.ArrayMultiplier(8)
-		if err != nil {
-			return Table1Result{}, err
-		}
-	}
-	stats, err := c.ComputeStats()
+	lr, err := NewLotRunner(cfg)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
-	// Ordered pattern set in production order: bring-up patterns and
-	// rising-weight random first (gentle early ramp, like the
-	// initialization sequence before the paper's first strobe), uniform
-	// random, then deterministic cleanup.
-	patterns, err := atpg.ProductionTestsEngine(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed,
-		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
+	outcome, err := lr.RunLot(cfg.Yield, cfg.N0, cfg.Chips, cfg.Seed)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	// Coverage ramp at strobe granularity (pattern × output), the
-	// bookkeeping the Sentry used for Table 1.
-	curve, simRes, err := faultsim.StepCoverageCurveOpts(c, universe, patterns,
-		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
+	fitRes, err := estimate.FitN0(outcome.Curve, cfg.Yield)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	// Manufacture the lot.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var lot defect.Lot
-	if cfg.Physical {
-		model, err := physicalFor(cfg.Yield, cfg.N0)
-		if err != nil {
-			return Table1Result{}, err
-		}
-		lot, err = defect.GenerateLot(model, universe, cfg.Chips, rng)
-		if err != nil {
-			return Table1Result{}, err
-		}
-	} else {
-		lot, err = defect.GenerateLotFromModel(cfg.Yield, cfg.N0, universe, cfg.Chips, rng)
-		if err != nil {
-			return Table1Result{}, err
-		}
-	}
-	// Test it.
-	ate, err := tester.New(c, patterns)
-	if err != nil {
-		return Table1Result{}, err
-	}
-	lotRes, err := ate.TestLotSteps(lot)
-	if err != nil {
-		return Table1Result{}, err
-	}
-	// Reduce to Table 1 format at ten checkpoints spread over the ramp.
-	checkpoints := rampCheckpoints(curve, 10)
-	rows, err := tester.FalloutTable(lotRes, curve, checkpoints)
-	if err != nil {
-		return Table1Result{}, err
-	}
-	// Build the estimation curve and recover n0.
-	estCurve := make(estimate.Curve, len(rows))
-	for i, r := range rows {
-		estCurve[i] = estimate.FalloutPoint{F: r.Coverage, Fail: r.CumFracton}
-	}
-	fitRes, err := estimate.FitN0(estCurve, cfg.Yield)
-	if err != nil {
-		return Table1Result{}, err
-	}
-	slopeRes, err := estimate.SlopeN0(estCurve, cfg.Yield, estCurve[0].F*1.5+1e-9)
+	slopeRes, err := estimate.SlopeN0(outcome.Curve, cfg.Yield, outcome.Curve[0].F*1.5+1e-9)
 	if err != nil {
 		return Table1Result{}, err
 	}
@@ -178,17 +140,17 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 	}
 	return Table1Result{
 		Config:       cfg,
-		CircuitStats: stats,
-		FaultCount:   len(universe),
-		FinalCov:     simRes.Coverage(),
-		Rows:         rows,
-		Curve:        estCurve,
-		TrueN0:       lot.MeanFaultsOnDefective(),
+		CircuitStats: lr.Stats(),
+		FaultCount:   lr.FaultCount(),
+		FinalCov:     lr.FinalCoverage(),
+		Rows:         outcome.Rows,
+		Curve:        outcome.Curve,
+		TrueN0:       outcome.TrueN0,
 		FitN0:        fitRes.N0,
 		SlopeN0:      slopeRes.N0,
-		LotYield:     lot.Yield,
-		TestedYield:  lotRes.TestedYield,
-		Escapes:      lotRes.Escapes,
+		LotYield:     outcome.LotYield,
+		TestedYield:  outcome.TestedYield,
+		Escapes:      outcome.Escapes,
 		PaperFitN0:   paperFit.N0,
 		PaperSlopeN0: paperSlope.N0,
 	}, nil
@@ -211,7 +173,7 @@ func physicalFor(y, n0 float64) (defect.Model, error) {
 }
 
 // ln is a tiny alias to keep physicalFor readable.
-func ln(x float64) float64 { return mathLog(x) }
+func ln(x float64) float64 { return math.Log(x) }
 
 // rampCheckpoints picks pattern/step indices near the paper's Table 1
 // coverage rows (5, 8, 10, 15, 20, 30, 36, 45, 50, 65 percent), plus

@@ -90,3 +90,39 @@ func TestValidateRejectRateValidation(t *testing.T) {
 		t.Error("unreachable truncation should error")
 	}
 }
+
+func TestTable1ConfigValidate(t *testing.T) {
+	good := DefaultTable1Config()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Table1Config)
+	}{
+		{"zero chips", func(c *Table1Config) { c.Chips = 0 }},
+		{"negative chips", func(c *Table1Config) { c.Chips = -5 }},
+		{"yield above 1", func(c *Table1Config) { c.Yield = 1.5 }},
+		{"zero yield", func(c *Table1Config) { c.Yield = 0 }},
+		{"yield NaN", func(c *Table1Config) { c.Yield = math.NaN() }},
+		{"n0 below 1", func(c *Table1Config) { c.N0 = 0.5 }},
+		{"negative n0", func(c *Table1Config) { c.N0 = -1 }},
+		{"n0 NaN", func(c *Table1Config) { c.N0 = math.NaN() }},
+		{"n0 infinite", func(c *Table1Config) { c.N0 = math.Inf(1) }},
+		{"negative patterns", func(c *Table1Config) { c.RandomPatterns = -1 }},
+		{"negative workers", func(c *Table1Config) { c.SimWorkers = -2 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultTable1Config()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "experiment:") {
+			t.Errorf("%s: error lacks package prefix: %v", tc.name, err)
+		}
+		// RunTable1 must reject the same configs before any work.
+		if _, err := RunTable1(cfg); err == nil {
+			t.Errorf("%s: RunTable1 accepted", tc.name)
+		}
+	}
+}

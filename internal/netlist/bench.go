@@ -25,8 +25,14 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := sc.Text()
+		// Strip inline comments before any parsing: "INPUT(G1) # pad 4"
+		// declares G1, and the comment text must never leak into names.
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
 			continue
 		}
 		switch {
@@ -68,12 +74,17 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	return c, nil
 }
 
-// parseUnary extracts X from "KEYWORD(X)".
+// parseUnary extracts X from "KEYWORD(X)". The first closing paren
+// ends the declaration; anything after it is an error rather than
+// silently becoming part of the name.
 func parseUnary(line string) (string, error) {
 	open := strings.IndexByte(line, '(')
-	close := strings.LastIndexByte(line, ')')
+	close := strings.IndexByte(line, ')')
 	if open < 0 || close < open {
 		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	if rest := strings.TrimSpace(line[close+1:]); rest != "" {
+		return "", fmt.Errorf("trailing %q after declaration %q", rest, line[:close+1])
 	}
 	arg := strings.TrimSpace(line[open+1 : close])
 	if arg == "" {
@@ -91,9 +102,12 @@ func parseAssignment(line string) (lhs string, t GateType, args []string, err er
 	lhs = strings.TrimSpace(line[:eq])
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
-	close := strings.LastIndexByte(rhs, ')')
+	close := strings.IndexByte(rhs, ')')
 	if open < 0 || close < open {
 		return "", 0, nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	if rest := strings.TrimSpace(rhs[close+1:]); rest != "" {
+		return "", 0, nil, fmt.Errorf("trailing %q after gate expression %q", rest, rhs[:close+1])
 	}
 	t, err = ParseGateType(strings.ToUpper(strings.TrimSpace(rhs[:open])))
 	if err != nil {

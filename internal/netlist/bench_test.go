@@ -48,6 +48,9 @@ func TestParseBenchErrors(t *testing.T) {
 		"INPUT(a)\nINPUT(a)\nz = NOT(a)\nOUTPUT(z)", // duplicate
 		"INPUT(a)\nz = NOT(a,)\nOUTPUT(z)\n",        // empty fanin
 		"INPUT(a\n",                                 // malformed decl
+		"INPUT(a) pad 4)\nz = NOT(a)\nOUTPUT(z)\n",  // trailing junk on decl
+		"INPUT(a))\nz = NOT(a)\nOUTPUT(z)\n",        // doubled close paren
+		"INPUT(a)\nz = NOT(a) junk\nOUTPUT(z)\n",    // trailing junk on gate
 	}
 	for i, src := range cases {
 		if _, err := ParseBench("bad", strings.NewReader(src)); err == nil {
@@ -71,6 +74,36 @@ OUTPUT(z)
 	}
 	if len(c.Gates) != 3 {
 		t.Errorf("gates = %d", len(c.Gates))
+	}
+}
+
+func TestParseBenchInlineComments(t *testing.T) {
+	// Inline comments must be stripped before parsing: "INPUT(G1) # pad 4)"
+	// declares a gate named G1, not "G1) # pad 4".
+	src := `INPUT(a) # pad 4)
+INPUT(b)# no space before hash
+z = NAND(a, b) # the only gate
+OUTPUT(z) ## doubled hash
+`
+	c, err := ParseBench("inline", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "z"} {
+		if _, ok := c.GateByName(name); !ok {
+			t.Errorf("gate %q missing; names: %v", name, c.SortedNames())
+		}
+	}
+	if len(c.Gates) != 3 || len(c.Outputs) != 1 {
+		t.Errorf("gates=%d outputs=%d", len(c.Gates), len(c.Outputs))
+	}
+	// And the parsed circuit must survive a write/parse round trip.
+	rt, err := c.RoundTrip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Gates) != 3 || len(rt.Outputs) != 1 {
+		t.Error("round trip changed shape")
 	}
 }
 

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tablefmt"
+	"repro/internal/textplot"
+)
+
+// Table renders the sweep as one fallout table per grid cell.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Monte-Carlo reject-rate sweep — circuit %s (%s)\n", r.CircuitName, r.CircuitStats)
+	fmt.Fprintf(&sb, "collapsed faults: %d, patterns: %d, final coverage: %.4f, replicates/cell: %d\n",
+		r.FaultCount, r.PatternCount, r.FinalCoverage, r.Config.Replicates)
+	for _, cell := range r.Cells {
+		fmt.Fprintf(&sb, "\ncell y=%.3g n0=%.3g chips=%d — tested yield %.4f (lot yield %.4f), fit n0 %.2f [%.2f, %.2f] over %d fits (truth %.2f)\n",
+			cell.Yield, cell.N0, cell.Chips, cell.MeanTestedYield, cell.MeanLotYield,
+			cell.FitN0Mean, cell.FitN0CILow, cell.FitN0CIHigh, cell.FitN0Count, cell.TrueN0Mean)
+		tb := tablefmt.New("coverage", "analytic r", "mean r", "95% CI", "n", "escapes", "passed")
+		for _, pt := range cell.Points {
+			tb.AddRow(
+				fmt.Sprintf("%.4f", pt.Coverage),
+				fmt.Sprintf("%.6f", pt.AnalyticR),
+				fmt.Sprintf("%.6f", pt.MeanR),
+				fmt.Sprintf("[%.6f, %.6f]", pt.CILow, pt.CIHigh),
+				pt.RejSamples,
+				fmt.Sprintf("%.2f", pt.MeanEscapes),
+				fmt.Sprintf("%.1f", pt.MeanPassed),
+			)
+		}
+		sb.WriteString(tb.String())
+	}
+	return sb.String()
+}
+
+// CSV renders the sweep as one flat row per (cell, coverage cut); the
+// golden test pins this byte-for-byte.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("yield,n0,chips,replicates,target_coverage,coverage,analytic_r,mean_r,std_r,ci_lo,ci_hi,rej_samples,mean_escapes,mean_passed,mean_tested_yield,fit_n0_mean,true_n0_mean\n")
+	for _, cell := range r.Cells {
+		for _, pt := range cell.Points {
+			fmt.Fprintf(&sb, "%g,%g,%d,%d,%g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				cell.Yield, cell.N0, cell.Chips, cell.Replicates,
+				pt.Target, pt.Coverage, pt.AnalyticR, pt.MeanR, pt.StdR,
+				pt.CILow, pt.CIHigh, pt.RejSamples, pt.MeanEscapes, pt.MeanPassed,
+				cell.MeanTestedYield, cell.FitN0Mean, cell.TrueN0Mean)
+		}
+	}
+	return sb.String()
+}
+
+// JSON renders the whole result (config included, circuit elided).
+func (r *Result) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Plot overlays each cell's empirical reject-rate points (95% CI error
+// bars) on the analytic Eq. 8 curve, log-scale like the paper's Fig. 1.
+func (r *Result) Plot() string {
+	var sb strings.Builder
+	for _, cell := range r.Cells {
+		model, err := core.New(cell.Yield, cell.N0)
+		if err != nil {
+			continue
+		}
+		p := textplot.Plot{
+			Title: fmt.Sprintf("reject rate vs coverage — y=%.3g n0=%.3g chips=%d, %d replicates (| = 95%% CI)",
+				cell.Yield, cell.N0, cell.Chips, cell.Replicates),
+			XLabel: "fault coverage f",
+			YLabel: "reject rate r(f), log scale",
+			LogY:   true,
+		}
+		const samples = 61
+		xs := make([]float64, samples)
+		ys := make([]float64, samples)
+		for i := range xs {
+			xs[i] = float64(i) / float64(samples-1)
+			ys[i] = model.RejectRate(xs[i])
+		}
+		p.Add(textplot.Series{Name: "Eq. 8", Marker: '.', X: xs, Y: ys})
+		n := len(cell.Points)
+		emp := textplot.Series{
+			Name: "monte-carlo", Marker: '@',
+			X:   make([]float64, n),
+			Y:   make([]float64, n),
+			YLo: make([]float64, n),
+			YHi: make([]float64, n),
+		}
+		for i, pt := range cell.Points {
+			emp.X[i] = pt.Coverage
+			emp.Y[i] = pt.MeanR
+			emp.YLo[i] = pt.CILow
+			emp.YHi[i] = pt.CIHigh
+		}
+		p.Add(emp)
+		sb.WriteString(p.Render())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,443 @@
+// Package sweep is the Monte-Carlo validation engine for the paper's
+// headline claim: it replicates the §5 lot experiment R times per grid
+// cell of (yield, n0, lot size), truncates every replicate's test
+// program at a set of coverage points, and aggregates the empirical
+// reject rate — escapes over shipped chips — with confidence intervals
+// to overlay on the analytic Eq. 8 curve.
+//
+// The expensive once-per-circuit work (ATPG, the strobe-granular
+// coverage ramp, good-machine pre-simulation) happens exactly once, in
+// an experiment.LotRunner shared by all replicates; each worker
+// goroutine clones only a tester. Per-replicate seeds are derived from
+// the base seed with a splitmix64 mix of the replicate's global task
+// index, and aggregation runs over replicates in index order, so
+// results are bit-identical regardless of worker count or scheduling.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/experiment"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/tester"
+)
+
+// Config parameterizes a sweep: the shared test program (circuit,
+// pattern budget, engine, seed) and the experiment grid.
+type Config struct {
+	// Circuit under test; nil selects the 8-bit array multiplier.
+	// Excluded from JSON output — the netlist is not a result.
+	Circuit *netlist.Circuit `json:"-"`
+	// Yields, N0s, and LotSizes span the grid; every combination is one
+	// cell. Each must be non-empty.
+	Yields   []float64
+	N0s      []float64
+	LotSizes []int
+	// Coverages are the truncation targets: each replicate's test
+	// program is cut at the first strobe reaching the target, and the
+	// reject rate of the shipped (passing) chips is measured there.
+	// Each must be in (0, 1] and reachable by the pattern set.
+	Coverages []float64
+	// Replicates is the number of independent lots per cell.
+	Replicates int
+	// Workers sizes the replicate worker pool; 0 means GOMAXPROCS.
+	// The aggregates do not depend on it.
+	Workers int
+	// RandomPatterns, Seed, Physical, Engine, and SimWorkers configure
+	// the shared test program exactly as in experiment.Table1Config.
+	RandomPatterns int
+	Seed           int64
+	Physical       bool
+	Engine         faultsim.Engine
+	SimWorkers     int
+}
+
+// DefaultConfig returns the paper-matched single-cell sweep: the
+// (y=0.07, n0=8.8) column at the §7 operating points.
+func DefaultConfig() Config {
+	return Config{
+		Yields:         []float64{0.07},
+		N0s:            []float64{8.8},
+		LotSizes:       []int{2000},
+		Coverages:      []float64{0.50, 0.80, 0.94},
+		Replicates:     20,
+		RandomPatterns: 192,
+		Seed:           1981,
+	}
+}
+
+// table1 builds the LotRunner configuration for one grid point.
+func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
+	return experiment.Table1Config{
+		Circuit:        c.Circuit,
+		Chips:          chips,
+		Yield:          y,
+		N0:             n0,
+		RandomPatterns: c.RandomPatterns,
+		Seed:           c.Seed,
+		Physical:       c.Physical,
+		Engine:         c.Engine,
+		SimWorkers:     c.SimWorkers,
+	}
+}
+
+// Validate rejects empty or nonsense grids before any work happens.
+// Every grid cell must form a valid experiment.Table1Config.
+func (c Config) Validate() error {
+	if len(c.Yields) == 0 {
+		return fmt.Errorf("sweep: need at least one yield")
+	}
+	if len(c.N0s) == 0 {
+		return fmt.Errorf("sweep: need at least one n0")
+	}
+	if len(c.LotSizes) == 0 {
+		return fmt.Errorf("sweep: need at least one lot size")
+	}
+	if len(c.Coverages) == 0 {
+		return fmt.Errorf("sweep: need at least one coverage target")
+	}
+	for _, f := range c.Coverages {
+		if !(f > 0 && f <= 1) {
+			return fmt.Errorf("sweep: coverage target must be in (0,1], got %v", f)
+		}
+	}
+	if c.Replicates < 1 {
+		return fmt.Errorf("sweep: need at least one replicate, got %d", c.Replicates)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sweep: worker count must be >= 0, got %d", c.Workers)
+	}
+	for _, y := range c.Yields {
+		for _, n0 := range c.N0s {
+			for _, chips := range c.LotSizes {
+				if err := c.table1(y, n0, chips).Validate(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cellKey is one grid cell.
+type cellKey struct {
+	y, n0 float64
+	chips int
+}
+
+// cellList enumerates the grid in deterministic order: yield outermost,
+// then n0, then lot size.
+func (c Config) cellList() []cellKey {
+	var cells []cellKey
+	for _, y := range c.Yields {
+		for _, n0 := range c.N0s {
+			for _, chips := range c.LotSizes {
+				cells = append(cells, cellKey{y: y, n0: n0, chips: chips})
+			}
+		}
+	}
+	return cells
+}
+
+// replicateSeed derives the per-replicate lot seed from the base seed
+// and the replicate's global task index via the splitmix64 finalizer.
+// Consecutive indices land on decorrelated streams, and the mapping
+// depends only on (base, task) — never on which worker runs the task.
+func replicateSeed(base int64, task int) int64 {
+	z := uint64(base) + uint64(task+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// cut is one resolved truncation point of the shared test program.
+type cut struct {
+	Target   float64 // requested coverage
+	Coverage float64 // achieved coverage at the cut strobe
+	Step     int     // last strobe index included in the truncated program
+}
+
+// repSummary is the per-replicate record aggregation consumes: small
+// enough to hold cells × replicates of them in memory.
+type repSummary struct {
+	passed      []int // shipped chips per cut
+	escapes     []int // defective shipped chips per cut
+	testedYield float64
+	lotYield    float64
+	trueN0      float64
+	fitN0       float64 // NaN when the fit did not converge
+}
+
+// Sweeper is a configured sweep with its once-per-circuit state built.
+type Sweeper struct {
+	cfg   Config
+	lr    *experiment.LotRunner
+	cells []cellKey
+	cuts  []cut
+}
+
+// New validates the configuration, builds the shared LotRunner (ATPG +
+// coverage ramp), and resolves every coverage target to a strobe cut.
+// Unreachable targets are an error, not a silent skip.
+func New(cfg Config) (*Sweeper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cells := cfg.cellList()
+	lr, err := experiment.NewLotRunner(cfg.table1(cells[0].y, cells[0].n0, cells[0].chips))
+	if err != nil {
+		return nil, err
+	}
+	curve := lr.Curve()
+	cuts := make([]cut, len(cfg.Coverages))
+	for i, target := range cfg.Coverages {
+		idx := -1
+		for j, pt := range curve {
+			if pt.Coverage >= target {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sweep: coverage target %v unreachable (pattern set tops out at %.4f)",
+				target, lr.FinalCoverage())
+		}
+		cuts[i] = cut{Target: target, Coverage: curve[idx].Coverage, Step: idx}
+	}
+	return &Sweeper{cfg: cfg, lr: lr, cells: cells, cuts: cuts}, nil
+}
+
+// Runner exposes the shared LotRunner (for reporting circuit facts).
+func (s *Sweeper) Runner() *experiment.LotRunner { return s.lr }
+
+// Run fans cells × replicates over the worker pool and aggregates.
+func (s *Sweeper) Run() (*Result, error) {
+	rCount := s.cfg.Replicates
+	total := len(s.cells) * rCount
+	summaries := make([]repSummary, total)
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	// Pre-filled buffered channel: no sender to block, so an erroring
+	// worker can simply stop consuming.
+	tasks := make(chan int, total)
+	for t := 0; t < total; t++ {
+		tasks <- t
+	}
+	close(tasks)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One ATE per worker amortizes the good-machine
+			// pre-simulation across its replicates.
+			ate, err := s.lr.NewATE()
+			if err != nil {
+				fail(err)
+				return
+			}
+			for t := range tasks {
+				if failed.Load() {
+					return
+				}
+				if err := s.runTask(ate, t, summaries); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s.aggregate(summaries)
+}
+
+// runTask manufactures and tests one replicate lot and reduces it to
+// its summary slot.
+func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) error {
+	cell := s.cells[task/s.cfg.Replicates]
+	seed := replicateSeed(s.cfg.Seed, task)
+	out, err := s.lr.RunLotWith(ate, cell.y, cell.n0, cell.chips, seed)
+	if err != nil {
+		return err
+	}
+	sum := repSummary{
+		passed:      make([]int, len(s.cuts)),
+		escapes:     make([]int, len(s.cuts)),
+		testedYield: out.TestedYield,
+		lotYield:    out.LotYield,
+		trueN0:      out.TrueN0,
+		fitN0:       math.NaN(),
+	}
+	// A chip fails the program truncated at cut c iff its first failing
+	// strobe is inside the prefix; everything else ships. Defective
+	// shipped chips are the escapes the reject rate counts.
+	for ci, c := range s.cuts {
+		failedChips := 0
+		for _, ff := range out.FirstFail {
+			if ff != tester.NeverFails && ff <= c.Step {
+				failedChips++
+			}
+		}
+		sum.passed[ci] = cell.chips - failedChips
+		sum.escapes[ci] = sum.passed[ci] - out.Good
+	}
+	if fit, err := estimate.FitN0(out.Curve, cell.y); err == nil {
+		sum.fitN0 = fit.N0
+	}
+	summaries[task] = sum
+	return nil
+}
+
+// aggregate folds the per-replicate summaries into per-cell statistics
+// in replicate order (independent of scheduling).
+func (s *Sweeper) aggregate(summaries []repSummary) (*Result, error) {
+	rCount := s.cfg.Replicates
+	res := &Result{
+		Config:        s.cfg,
+		CircuitName:   s.lr.Circuit().Name,
+		CircuitStats:  s.lr.Stats(),
+		FaultCount:    s.lr.FaultCount(),
+		PatternCount:  s.lr.Patterns(),
+		FinalCoverage: s.lr.FinalCoverage(),
+	}
+	for ci, cell := range s.cells {
+		model, err := core.New(cell.y, cell.n0)
+		if err != nil {
+			return nil, err
+		}
+		rejAcc := make([]Welford, len(s.cuts))
+		escAcc := make([]Welford, len(s.cuts))
+		passAcc := make([]Welford, len(s.cuts))
+		var tyAcc, lyAcc, trueAcc, fitAcc Welford
+		for rep := 0; rep < rCount; rep++ {
+			sum := summaries[ci*rCount+rep]
+			for j := range s.cuts {
+				// A lot that ships nothing has no reject rate; exclude
+				// it from the mean/CI (like a non-converged fit) rather
+				// than recording a biasing zero. RejSamples surfaces
+				// how many replicates actually contributed.
+				if sum.passed[j] > 0 {
+					rejAcc[j].Add(float64(sum.escapes[j]) / float64(sum.passed[j]))
+				}
+				escAcc[j].Add(float64(sum.escapes[j]))
+				passAcc[j].Add(float64(sum.passed[j]))
+			}
+			tyAcc.Add(sum.testedYield)
+			lyAcc.Add(sum.lotYield)
+			trueAcc.Add(sum.trueN0)
+			if !math.IsNaN(sum.fitN0) {
+				fitAcc.Add(sum.fitN0)
+			}
+		}
+		cr := CellResult{
+			Yield:      cell.y,
+			N0:         cell.n0,
+			Chips:      cell.chips,
+			Replicates: rCount,
+			Points:     make([]PointStat, len(s.cuts)),
+		}
+		for j, c := range s.cuts {
+			lo, hi := rejAcc[j].CI95()
+			cr.Points[j] = PointStat{
+				Target:      c.Target,
+				Coverage:    c.Coverage,
+				AnalyticR:   model.RejectRate(c.Coverage),
+				MeanR:       rejAcc[j].Mean(),
+				StdR:        math.Sqrt(rejAcc[j].Variance()),
+				CILow:       math.Max(0, lo),
+				CIHigh:      math.Min(1, hi),
+				RejSamples:  rejAcc[j].Count(),
+				MeanEscapes: escAcc[j].Mean(),
+				MeanPassed:  passAcc[j].Mean(),
+			}
+		}
+		cr.MeanTestedYield = tyAcc.Mean()
+		cr.MeanLotYield = lyAcc.Mean()
+		cr.TrueN0Mean = trueAcc.Mean()
+		cr.FitN0Count = fitAcc.Count()
+		cr.FitN0Mean = fitAcc.Mean()
+		cr.FitN0CILow, cr.FitN0CIHigh = fitAcc.CI95()
+		res.Cells = append(res.Cells, cr)
+	}
+	return res, nil
+}
+
+// Run is the one-call convenience: New followed by Run.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// PointStat is the aggregated statistics at one (cell, coverage cut).
+type PointStat struct {
+	Target    float64 // requested coverage
+	Coverage  float64 // achieved coverage at the cut
+	AnalyticR float64 // Eq. 8 prediction at the achieved coverage
+	MeanR     float64 // Monte-Carlo mean reject rate
+	StdR      float64 // across-replicate standard deviation
+	CILow     float64 // normal-approx 95% CI on the mean, clamped to [0,1]
+	CIHigh    float64
+	// RejSamples counts the replicates whose reject rate was defined
+	// (at least one chip shipped); lots that ship nothing are excluded
+	// from MeanR/StdR/CI rather than recorded as zero.
+	RejSamples  int
+	MeanEscapes float64
+	MeanPassed  float64
+}
+
+// CellResult is one grid cell's aggregate.
+type CellResult struct {
+	Yield      float64
+	N0         float64
+	Chips      int
+	Replicates int
+	Points     []PointStat
+	// Whole-program statistics (no truncation).
+	MeanTestedYield float64
+	MeanLotYield    float64
+	// n0 recovery: ground truth (lot mean) and the Fig. 5 curve fit,
+	// aggregated over the replicates where the fit converged.
+	TrueN0Mean  float64
+	FitN0Count  int
+	FitN0Mean   float64
+	FitN0CILow  float64
+	FitN0CIHigh float64
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Config        Config
+	CircuitName   string
+	CircuitStats  netlist.Stats
+	FaultCount    int
+	PatternCount  int
+	FinalCoverage float64
+	Cells         []CellResult
+}

@@ -15,6 +15,15 @@ type Series struct {
 	Name   string
 	X, Y   []float64
 	Marker rune // glyph used for this series; 0 picks automatically
+	// YLo/YHi, when both are set (same length as X), draw a vertical
+	// error bar through each point — the rendering of a confidence
+	// interval. The marker is drawn on top at Y.
+	YLo, YHi []float64
+}
+
+// hasBars reports whether the series carries well-formed error bars.
+func (s Series) hasBars() bool {
+	return len(s.YLo) == len(s.X) && len(s.YHi) == len(s.X) && len(s.X) > 0
 }
 
 // Plot is a 2D chart.
@@ -54,22 +63,28 @@ func (p *Plot) Render() string {
 	xmin, xmax := math.Inf(1), math.Inf(-1)
 	ymin, ymax := math.Inf(1), math.Inf(-1)
 	for _, s := range p.series {
+		bars := s.hasBars()
 		for i := range s.X {
-			y := s.Y[i]
-			if p.LogY && y <= 0 {
-				continue
+			ys := []float64{s.Y[i]}
+			if bars {
+				ys = append(ys, s.YLo[i], s.YHi[i])
 			}
-			if s.X[i] < xmin {
-				xmin = s.X[i]
-			}
-			if s.X[i] > xmax {
-				xmax = s.X[i]
-			}
-			if y < ymin {
-				ymin = y
-			}
-			if y > ymax {
-				ymax = y
+			for _, y := range ys {
+				if p.LogY && y <= 0 {
+					continue
+				}
+				if s.X[i] < xmin {
+					xmin = s.X[i]
+				}
+				if s.X[i] > xmax {
+					xmax = s.X[i]
+				}
+				if y < ymin {
+					ymin = y
+				}
+				if y > ymax {
+					ymax = y
+				}
 			}
 		}
 	}
@@ -93,17 +108,50 @@ func (p *Plot) Render() string {
 	for r := range grid {
 		grid[r] = []rune(strings.Repeat(" ", w))
 	}
+	toRow := func(y float64) int {
+		if p.LogY {
+			if y <= 0 {
+				return -1
+			}
+			y = math.Log10(y)
+		}
+		return h - 1 - int(math.Round((y-ylo)/(yhi-ylo)*float64(h-1)))
+	}
+	// Error bars first so markers land on top of them.
+	for _, s := range p.series {
+		if !s.hasBars() {
+			continue
+		}
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			rlo, rhi := toRow(s.YLo[i]), toRow(s.YHi[i])
+			// Under LogY a bar end at or below zero is off the axis;
+			// clamp it to the bottom row so the drawable upper part of
+			// the interval still renders instead of vanishing.
+			if rlo < 0 {
+				rlo = h - 1
+			}
+			if col < 0 || col >= w || rhi < 0 {
+				continue
+			}
+			if rlo < rhi {
+				rlo, rhi = rhi, rlo // row indices grow downward
+			}
+			for r := rhi; r <= rlo; r++ {
+				if r >= 0 && r < h {
+					grid[r][col] = '|'
+				}
+			}
+		}
+	}
 	for _, s := range p.series {
 		for i := range s.X {
 			y := s.Y[i]
-			if p.LogY {
-				if y <= 0 {
-					continue
-				}
-				y = math.Log10(y)
+			if p.LogY && y <= 0 {
+				continue
 			}
 			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
-			row := h - 1 - int(math.Round((y-ylo)/(yhi-ylo)*float64(h-1)))
+			row := toRow(y)
 			if col >= 0 && col < w && row >= 0 && row < h {
 				grid[row][col] = s.Marker
 			}

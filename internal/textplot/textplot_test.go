@@ -79,3 +79,75 @@ func TestConstantSeries(t *testing.T) {
 		t.Error("degenerate ranges must still render")
 	}
 }
+
+func TestErrorBars(t *testing.T) {
+	p := Plot{Title: "bars", Height: 12, Width: 40}
+	p.Add(Series{
+		Name: "ci", Marker: '@',
+		X:   []float64{0, 0.5, 1},
+		Y:   []float64{1, 2, 3},
+		YLo: []float64{0.5, 1.5, 2.5},
+		YHi: []float64{1.5, 2.5, 3.5},
+	})
+	out := p.Render()
+	if !strings.Contains(out, "|") || !strings.Contains(out, "@") {
+		t.Fatalf("error bars or markers missing:\n%s", out)
+	}
+	// The bar must extend above and below the marker in its column.
+	lines := strings.Split(out, "\n")
+	barRows, markerRow := 0, -1
+	for r, ln := range lines {
+		// Strip the frame: the grid sits between the first and last '|'.
+		first, last := strings.IndexByte(ln, '|'), strings.LastIndexByte(ln, '|')
+		if first < 0 || last <= first {
+			continue
+		}
+		body := ln[first+1 : last]
+		if strings.ContainsRune(body, '@') {
+			markerRow = r
+		}
+		if strings.ContainsRune(body, '|') {
+			barRows++
+		}
+	}
+	if markerRow < 0 || barRows == 0 {
+		t.Fatalf("marker row %d bar rows %d:\n%s", markerRow, barRows, out)
+	}
+}
+
+func TestErrorBarsExpandRange(t *testing.T) {
+	// A tall upper bar must widen the y range beyond the marker values.
+	with := Plot{Height: 10, Width: 30}
+	with.Add(Series{X: []float64{0, 1}, Y: []float64{1, 1},
+		YLo: []float64{0.5, 0.5}, YHi: []float64{10, 10}})
+	out := with.Render()
+	if !strings.Contains(out, "10") {
+		t.Fatalf("y range ignored error bars:\n%s", out)
+	}
+}
+
+func TestErrorBarsLogYClampedAtZero(t *testing.T) {
+	// On a log axis a CI whose lower end is 0 (or below) cannot be
+	// placed, but the upper part of the bar must still render, clamped
+	// to the bottom row — not silently vanish.
+	p := Plot{Height: 12, Width: 30, LogY: true}
+	p.Add(Series{
+		Marker: '@',
+		X:      []float64{0.2, 0.8},
+		Y:      []float64{0.01, 0.02},
+		YLo:    []float64{0, 0.015},
+		YHi:    []float64{0.03, 0.025},
+	})
+	out := p.Render()
+	bars := 0
+	for _, ln := range strings.Split(out, "\n") {
+		first, last := strings.IndexByte(ln, '|'), strings.LastIndexByte(ln, '|')
+		if first < 0 || last <= first {
+			continue
+		}
+		bars += strings.Count(ln[first+1:last], "|")
+	}
+	if bars == 0 {
+		t.Fatalf("zero-floored CI lost its error bar:\n%s", out)
+	}
+}
