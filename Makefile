@@ -25,17 +25,22 @@ cover:
 		pct = $$3 + 0; printf "internal/dist statement coverage: %s\n", $$3; \
 		if (pct < 90) { print "FAIL: below the 90% floor"; exit 1 } }'
 
-# Reproduction log: one benchmark per table/figure of the paper.
+# Reproduction log: one benchmark per table/figure of the paper, plus
+# the circuits-layer cold-vs-cached preparation pair (BenchmarkPrepared)
+# and the sweep throughput matrix. CI runs this as its bench step.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
-# Race-detect the concurrent layers: the sweep worker pool and the lot
-# experiment it drives (-short skips the multi-second Monte-Carlo run).
+# Race-detect the concurrent layers: the artifact cache, the sweep
+# worker pool, and the lot experiment it drives (-short skips the
+# multi-second Monte-Carlo run).
 race:
-	$(GO) test -race -short ./internal/sweep/ ./internal/experiment/
+	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/
 
-# Tiny end-to-end Monte-Carlo grid through the real CLI: seconds, not
-# minutes, yet it exercises ATPG, the ramp, the pool, and every format.
+# Tiny end-to-end Monte-Carlo grid through the real CLI over a
+# two-circuit campaign: seconds, not minutes, yet it exercises the
+# workload registry, per-circuit ATPG + ramp (each prepared exactly
+# once), the pool, and every format.
 sweep-smoke:
-	$(GO) run ./cmd/sweep -width 4 -random 32 -yields 0.2 -n0s 3 -chips 80 \
-		-coverages 0.3,0.6 -replicates 4 -workers 2 -seed 7 -format table
+	$(GO) run ./cmd/sweep -circuits mul4,cmp8 -random 32 -yields 0.2 -n0s 3 \
+		-chips 80 -coverages 0.3,0.6 -replicates 4 -workers 2 -seed 7 -format table

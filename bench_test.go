@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
@@ -272,20 +273,50 @@ func BenchmarkYieldN0Study(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepared measures what the circuits-layer artifact cache
+// amortizes: "cold" is the full once-per-circuit preparation (fault
+// collapsing, production ATPG, strobe-granular coverage ramp), "cached"
+// is the hit path a campaign's lots, replicates, and workers actually
+// take. The ratio is the per-circuit cost the multi-workload sweep
+// pays exactly once.
+func BenchmarkPrepared(b *testing.B) {
+	params := circuits.Params{RandomPatterns: 64, Seed: 1981}
+	const spec = "mul5"
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache each iteration forces the build.
+			if _, err := circuits.NewCache().Get(spec, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := circuits.NewCache()
+		if _, err := cache.Get(spec, params); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Get(spec, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cache.Builds() != 1 {
+			b.Fatalf("cache rebuilt: %d builds", cache.Builds())
+		}
+	})
+}
+
 // BenchmarkSweep measures the Monte-Carlo sweep engine's replicate
 // throughput as the worker pool scales: the once-per-circuit work
 // (ATPG, coverage ramp) is excluded via a pre-built Sweeper, so the
 // replicates/s metric isolates the fan-out hot path (lot manufacture,
 // first-fail testing, per-cut reduction).
 func BenchmarkSweep(b *testing.B) {
-	c, err := netlist.ArrayMultiplier(5)
-	if err != nil {
-		b.Fatal(err)
-	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := sweep.Config{
-				Circuit:        c,
+				Circuits:       []string{"mul5"},
 				Yields:         []float64{0.07},
 				N0s:            []float64{8.8},
 				LotSizes:       []int{500},

@@ -3,6 +3,8 @@
 //
 //	atpg -circuit mul4
 //	atpg -circuit dec4 -random 32 -compact
+//	atpg -circuit bench:c432.bench
+//	atpg -list-circuits
 package main
 
 import (
@@ -11,19 +13,24 @@ import (
 	"os"
 
 	"repro/internal/atpg"
+	"repro/internal/circuits"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logicsim"
-	"repro/internal/netlist"
 )
 
 func main() {
-	circuit := flag.String("circuit", "c17", "built-in circuit: c17, rca<N>, mul<N>, parity<N>, dec<N>, mux<N>, cmp<N>")
+	circuit := flag.String("circuit", "c17", "workload spec (see -list-circuits)")
+	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	random := flag.Int("random", 0, "random patterns applied before PODEM cleanup")
 	seed := flag.Int64("seed", 1, "random seed")
 	compact := flag.Bool("compact", false, "reverse-order compact the final set")
 	flag.Parse()
 
+	if *listCircuits {
+		fmt.Print(circuits.List())
+		return
+	}
 	if err := run(*circuit, *random, *seed, *compact); err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
@@ -31,7 +38,7 @@ func main() {
 }
 
 func run(circuit string, random int, seed int64, compact bool) error {
-	c, err := builtinCircuit(circuit)
+	c, err := circuits.Resolve(circuit)
 	if err != nil {
 		return err
 	}
@@ -73,33 +80,4 @@ func run(circuit string, random int, seed int64, compact bool) error {
 		fmt.Printf("after compaction: %.4f with %d patterns\n", res2.Coverage(), len(compacted))
 	}
 	return nil
-}
-
-// builtinCircuit mirrors cmd/faultsim's resolver.
-func builtinCircuit(name string) (*netlist.Circuit, error) {
-	if name == "c17" {
-		return netlist.C17(), nil
-	}
-	var n int
-	switch {
-	case scan(name, "rca%d", &n):
-		return netlist.RippleAdder(n)
-	case scan(name, "mul%d", &n):
-		return netlist.ArrayMultiplier(n)
-	case scan(name, "parity%d", &n):
-		return netlist.ParityTree(n)
-	case scan(name, "dec%d", &n):
-		return netlist.Decoder(n)
-	case scan(name, "mux%d", &n):
-		return netlist.MuxTree(n)
-	case scan(name, "cmp%d", &n):
-		return netlist.Comparator(n)
-	default:
-		return nil, fmt.Errorf("unknown circuit %q", name)
-	}
-}
-
-func scan(s, format string, n *int) bool {
-	matched, err := fmt.Sscanf(s, format, n)
-	return err == nil && matched == 1
 }

@@ -6,6 +6,7 @@
 //	faultsim -bench c17.bench -patterns 64 -seed 7
 //	faultsim -circuit mul8 -patterns 256 -engine deductive
 //	faultsim -circuit cmp16 -patterns 512 -engine concurrent -workers 8
+//	faultsim -list-circuits
 package main
 
 import (
@@ -14,15 +15,16 @@ import (
 	"os"
 
 	"repro/internal/atpg"
+	"repro/internal/circuits"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
-	"repro/internal/netlist"
 	"repro/internal/tablefmt"
 )
 
 func main() {
-	benchPath := flag.String("bench", "", "circuit in .bench format (overrides -circuit)")
-	circuit := flag.String("circuit", "c17", "built-in circuit: c17, rca<N>, mul<N>, parity<N>, dec<N>, mux<N>, cmp<N>")
+	benchPath := flag.String("bench", "", "circuit in .bench format (shorthand for -circuit bench:<path>)")
+	circuit := flag.String("circuit", "c17", "workload spec (see -list-circuits)")
+	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	npat := flag.Int("patterns", 64, "number of random patterns")
 	seed := flag.Int64("seed", 1, "pattern seed")
 	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive, pf, concurrent")
@@ -31,15 +33,23 @@ func main() {
 	lfsr := flag.Bool("lfsr", false, "use an LFSR instead of uniform random patterns")
 	flag.Parse()
 
+	if *listCircuits {
+		fmt.Print(circuits.List())
+		return
+	}
+	spec := *circuit
+	if *benchPath != "" {
+		spec = "bench:" + *benchPath
+	}
 	opt := faultsim.Options{Workers: *workers, FullCircuit: *full}
-	if err := run(*benchPath, *circuit, *npat, *seed, *engine, opt, *lfsr); err != nil {
+	if err := run(spec, *npat, *seed, *engine, opt, *lfsr); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, circuit string, npat int, seed int64, engineName string, opt faultsim.Options, lfsr bool) error {
-	c, err := loadCircuit(benchPath, circuit)
+func run(spec string, npat int, seed int64, engineName string, opt faultsim.Options, lfsr bool) error {
+	c, err := circuits.Resolve(spec)
 	if err != nil {
 		return err
 	}
@@ -98,49 +108,4 @@ func run(benchPath, circuit string, npat int, seed int64, engineName string, opt
 	fmt.Printf("final coverage (%s engine): %.4f, undetected %d\n",
 		eng, res.Coverage(), len(faultsim.Undetected(res)))
 	return nil
-}
-
-// loadCircuit resolves the circuit flag.
-func loadCircuit(benchPath, name string) (*netlist.Circuit, error) {
-	if benchPath != "" {
-		f, err := os.Open(benchPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return netlist.ParseBench(benchPath, f)
-	}
-	return builtinCircuit(name)
-}
-
-// builtinCircuit parses names like mul8, rca16, parity32, dec4, mux3,
-// cmp8, c17, rand<seed>.
-func builtinCircuit(name string) (*netlist.Circuit, error) {
-	if name == "c17" {
-		return netlist.C17(), nil
-	}
-	var n int
-	switch {
-	case scan(name, "rca%d", &n):
-		return netlist.RippleAdder(n)
-	case scan(name, "mul%d", &n):
-		return netlist.ArrayMultiplier(n)
-	case scan(name, "parity%d", &n):
-		return netlist.ParityTree(n)
-	case scan(name, "dec%d", &n):
-		return netlist.Decoder(n)
-	case scan(name, "mux%d", &n):
-		return netlist.MuxTree(n)
-	case scan(name, "cmp%d", &n):
-		return netlist.Comparator(n)
-	case scan(name, "rand%d", &n):
-		return netlist.RandomCircuit(name, 16, 400, 12, int64(n))
-	default:
-		return nil, fmt.Errorf("unknown circuit %q", name)
-	}
-}
-
-func scan(s, format string, n *int) bool {
-	matched, err := fmt.Sscanf(s, format, n)
-	return err == nil && matched == 1
 }

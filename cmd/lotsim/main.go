@@ -5,7 +5,9 @@
 // recover n0 by curve fit and slope.
 //
 //	lotsim -chips 277 -yield 0.07 -n0 8.8
-//	lotsim -physical            # route through the physical-defect layer
+//	lotsim -circuit cmp16              # any registry workload spec
+//	lotsim -physical                   # route through the physical-defect layer
+//	lotsim -list-circuits
 package main
 
 import (
@@ -13,8 +15,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/circuits"
 	"repro/internal/experiment"
-	"repro/internal/netlist"
 )
 
 func main() {
@@ -23,10 +25,16 @@ func main() {
 	n0 := flag.Float64("n0", 8.8, "ground-truth mean faults per defective chip")
 	seed := flag.Int64("seed", 1981, "random seed")
 	random := flag.Int("random", 192, "random patterns before PODEM cleanup")
-	width := flag.Int("width", 8, "array-multiplier width of the DUT")
+	circuit := flag.String("circuit", experiment.DefaultCircuitSpec,
+		"workload spec of the DUT (see -list-circuits)")
+	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	physical := flag.Bool("physical", false, "generate the lot through the physical-defect layer")
 	flag.Parse()
 
+	if *listCircuits {
+		fmt.Print(circuits.List())
+		return
+	}
 	cfg := experiment.Table1Config{
 		Chips:          *chips,
 		Yield:          *yield,
@@ -35,13 +43,13 @@ func main() {
 		Seed:           *seed,
 		Physical:       *physical,
 	}
-	// Fail fast on nonsense parameters before synthesizing the circuit
-	// or running any ATPG.
+	// Fail fast on nonsense parameters before resolving the circuit or
+	// running any ATPG.
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)
 		os.Exit(1)
 	}
-	c, err := netlist.ArrayMultiplier(*width)
+	c, err := circuits.Resolve(*circuit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/circuits"
 	"repro/internal/experiment"
 	"repro/internal/netlist"
 )
@@ -26,15 +27,29 @@ func main() {
 	chips := flag.Int("chips", 277, "lot size for the table1 experiment")
 	seed := flag.Int64("seed", 1981, "random seed for the table1 experiment")
 	physical := flag.Bool("physical", false, "drive the table1 lot through the physical-defect layer")
+	circuit := flag.String("circuit", "", "workload spec overriding each artifact's default circuit (see -list-circuits)")
+	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	flag.Parse()
 
-	if err := run(*artifact, *chips, *seed, *physical); err != nil {
+	if *listCircuits {
+		fmt.Print(circuits.List())
+		return
+	}
+	if err := run(*artifact, *chips, *seed, *physical, *circuit); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(artifact string, chips int, seed int64, physical bool) error {
+func run(artifact string, chips int, seed int64, physical bool, circuitSpec string) error {
+	// pick resolves each circuit-driven artifact's workload: the
+	// artifact's registry default, unless -circuit overrides it.
+	pick := func(defaultSpec string) (*netlist.Circuit, error) {
+		if circuitSpec != "" {
+			return circuits.Resolve(circuitSpec)
+		}
+		return circuits.Resolve(defaultSpec)
+	}
 	want := func(name string) bool { return artifact == "all" || artifact == name }
 	ran := false
 	if want("fig1") {
@@ -63,6 +78,11 @@ func run(artifact string, chips int, seed int64, physical bool) error {
 		cfg.Chips = chips
 		cfg.Seed = seed
 		cfg.Physical = physical
+		c, err := pick(experiment.DefaultCircuitSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Circuit = c
 		res, err := experiment.RunTable1(cfg)
 		if err != nil {
 			return err
@@ -91,7 +111,7 @@ func run(artifact string, chips int, seed int64, physical bool) error {
 		ran = true
 	}
 	if want("validate") {
-		c, err := netlist.ArrayMultiplier(4)
+		c, err := pick("mul4")
 		if err != nil {
 			return err
 		}
@@ -104,7 +124,7 @@ func run(artifact string, chips int, seed int64, physical bool) error {
 		ran = true
 	}
 	if want("collapse") {
-		c, err := netlist.ArrayMultiplier(6)
+		c, err := pick("mul6")
 		if err != nil {
 			return err
 		}
@@ -127,7 +147,7 @@ func run(artifact string, chips int, seed int64, physical bool) error {
 		ran = true
 	}
 	if want("yieldn0") {
-		c, err := netlist.ArrayMultiplier(4)
+		c, err := pick("mul4")
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,13 @@
 // Command sweep runs the Monte-Carlo reject-rate validation: R
-// replicate lots per grid cell of (yield, n0, lot size), each tested
-// with the shared production program truncated at a set of coverage
-// points, aggregated into mean reject rates with 95% confidence
-// intervals and overlaid on the analytic Eq. 8 curve.
+// replicate lots per grid cell of (circuit, yield, n0, lot size), each
+// tested with that circuit's production program truncated at a set of
+// coverage points, aggregated into mean reject rates with 95%
+// confidence intervals and overlaid on the analytic Eq. 8 curve.
 //
-//	sweep -yields 0.07 -n0s 8,8.8 -chips 6000 -coverages 0.8,0.94 -replicates 30
-//	sweep -format csv > sweep.csv
-//	sweep -format json -workers 8 -engine concurrent
+//	sweep -circuits mul8 -yields 0.07 -n0s 8,8.8 -chips 6000 -coverages 0.8,0.94 -replicates 30
+//	sweep -circuits mul4,cmp8,rand7 -format csv > sweep.csv
+//	sweep -circuits bench:circuits/ -format json -workers 8 -engine concurrent
+//	sweep -list-circuits
 package main
 
 import (
@@ -16,12 +17,16 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/circuits"
+	"repro/internal/experiment"
 	"repro/internal/faultsim"
-	"repro/internal/netlist"
 	"repro/internal/sweep"
 )
 
 func main() {
+	circuitSpecs := flag.String("circuits", experiment.DefaultCircuitSpec,
+		"comma-separated workload specs spanning the circuit axis (see -list-circuits)")
+	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	yields := flag.String("yields", "0.07", "comma-separated ground-truth yields")
 	n0s := flag.String("n0s", "8.8", "comma-separated ground-truth n0 values")
 	chips := flag.String("chips", "2000", "comma-separated lot sizes")
@@ -30,7 +35,6 @@ func main() {
 	workers := flag.Int("workers", 0, "replicate worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1981, "base seed; per-replicate seeds are derived deterministically")
 	random := flag.Int("random", 192, "random patterns before PODEM cleanup")
-	width := flag.Int("width", 8, "array-multiplier width of the DUT")
 	physical := flag.Bool("physical", false, "generate lots through the physical-defect layer")
 	engineName := flag.String("engine", "ppsfp", "fault-simulation engine: serial, ppsfp, deductive, pf, concurrent")
 	simWorkers := flag.Int("simworkers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
@@ -38,15 +42,23 @@ func main() {
 	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
 	flag.Parse()
 
-	if err := run(*yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
-		*random, *width, *physical, *engineName, *simWorkers, *format, *plot); err != nil {
+	if *listCircuits {
+		fmt.Print(circuits.List())
+		return
+	}
+	if err := run(*circuitSpecs, *yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
+		*random, *physical, *engineName, *simWorkers, *format, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(yields, n0s, chips, coverages string, replicates, workers int, seed int64,
-	random, width int, physical bool, engineName string, simWorkers int, format string, plot bool) error {
+func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers int, seed int64,
+	random int, physical bool, engineName string, simWorkers int, format string, plot bool) error {
+	specs := splitList(circuitSpecs)
+	if len(specs) == 0 {
+		return fmt.Errorf("-circuits: need at least one workload spec")
+	}
 	ys, err := parseFloats(yields)
 	if err != nil {
 		return fmt.Errorf("-yields: %w", err)
@@ -73,6 +85,7 @@ func run(yields, n0s, chips, coverages string, replicates, workers int, seed int
 		return fmt.Errorf("unknown format %q (want table, csv, or json)", format)
 	}
 	cfg := sweep.Config{
+		Circuits:       specs,
 		Yields:         ys,
 		N0s:            ns,
 		LotSizes:       lots,
@@ -85,13 +98,8 @@ func run(yields, n0s, chips, coverages string, replicates, workers int, seed int
 		Engine:         engine,
 		SimWorkers:     simWorkers,
 	}
-	// Fail fast on nonsense grids before synthesizing the circuit or
-	// running any ATPG.
+	// Fail fast on nonsense grids or unknown specs before any ATPG.
 	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	cfg.Circuit, err = netlist.ArrayMultiplier(width)
-	if err != nil {
 		return err
 	}
 	res, err := sweep.Run(cfg)
@@ -116,14 +124,21 @@ func run(yields, n0s, chips, coverages string, replicates, workers int, seed int
 	return nil
 }
 
+// splitList splits a comma-separated list, dropping empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // parseFloats parses a comma-separated float list.
 func parseFloats(s string) ([]float64, error) {
 	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
+	for _, part := range splitList(s) {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad value %q", part)
@@ -136,11 +151,7 @@ func parseFloats(s string) ([]float64, error) {
 // parseInts parses a comma-separated integer list.
 func parseInts(s string) ([]int, error) {
 	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
+	for _, part := range splitList(s) {
 		v, err := strconv.Atoi(part)
 		if err != nil {
 			return nil, fmt.Errorf("bad value %q", part)

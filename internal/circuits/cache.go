@@ -1,0 +1,57 @@
+package circuits
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes Prepared artifacts keyed by (unit spec, Params), so a
+// campaign touching the same circuit from many lots, replicates, or
+// worker goroutines builds it exactly once. Concurrent Get calls for
+// the same key block on one build; distinct keys build in parallel.
+//
+// The zero value is not usable; call NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	builds  atomic.Int64
+}
+
+type cacheKey struct {
+	spec   string
+	params Params
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prep *Prepared
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Get returns the Prepared artifact for (spec, p), building it on first
+// use. spec must be a unit spec (see Expand); a failed build is cached
+// too, so a bad spec does not retry on every replicate.
+func (ca *Cache) Get(spec string, p Params) (*Prepared, error) {
+	key := cacheKey{spec: spec, params: p}
+	ca.mu.Lock()
+	e, ok := ca.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		ca.entries[key] = e
+	}
+	ca.mu.Unlock()
+	e.once.Do(func() {
+		ca.builds.Add(1)
+		e.prep, e.err = PrepareSpec(spec, p)
+	})
+	return e.prep, e.err
+}
+
+// Builds reports how many cold preparations the cache has performed —
+// the counter the exactly-once-per-campaign tests pin.
+func (ca *Cache) Builds() int { return int(ca.builds.Load()) }

@@ -1,0 +1,118 @@
+package circuits
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheBuildsExactlyOnce(t *testing.T) {
+	// Many goroutines racing for the same (spec, params) key must share
+	// one build; distinct keys build separately.
+	cache := NewCache()
+	p := Params{RandomPatterns: 16, Seed: 3}
+	const goroutines = 16
+	preps := make([]*Prepared, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prep, err := cache.Get("mul4", p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			preps[i] = prep
+		}(i)
+	}
+	wg.Wait()
+	if cache.Builds() != 1 {
+		t.Errorf("%d builds for one key", cache.Builds())
+	}
+	for i := 1; i < goroutines; i++ {
+		if preps[i] != preps[0] {
+			t.Fatal("goroutines received different artifacts")
+		}
+	}
+
+	// A different circuit, and the same circuit under different params,
+	// are separate artifacts.
+	if _, err := cache.Get("cmp8", p); err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.Seed = 4
+	if _, err := cache.Get("mul4", p2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Builds() != 3 {
+		t.Errorf("Builds() = %d, want 3", cache.Builds())
+	}
+	// And a repeat hit stays cached.
+	if _, err := cache.Get("mul4", p); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Builds() != 3 {
+		t.Errorf("cache miss on a warm key: Builds() = %d", cache.Builds())
+	}
+}
+
+func TestCacheCachesFailures(t *testing.T) {
+	cache := NewCache()
+	p := Params{RandomPatterns: 8, Seed: 1}
+	if _, err := cache.Get("warp9", p); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := cache.Get("warp9", p); err == nil {
+		t.Fatal("bad spec accepted on second get")
+	}
+	if cache.Builds() != 1 {
+		t.Errorf("failed build retried: Builds() = %d", cache.Builds())
+	}
+}
+
+func TestPreparedShape(t *testing.T) {
+	prep, err := PrepareSpec("mul4", Params{RandomPatterns: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Circuit.Name != "mul4" {
+		t.Errorf("circuit %q", prep.Circuit.Name)
+	}
+	if prep.FaultCount() == 0 || len(prep.Patterns) == 0 || len(prep.Curve) == 0 {
+		t.Fatalf("empty artifact: %d faults, %d patterns, %d curve points",
+			prep.FaultCount(), len(prep.Patterns), len(prep.Curve))
+	}
+	if fc := prep.FinalCoverage(); !(fc > 0.5 && fc <= 1) {
+		t.Errorf("final coverage %v", fc)
+	}
+	// The ramp is monotone and ends at the final coverage.
+	last := 0.0
+	for _, pt := range prep.Curve {
+		if pt.Coverage < last {
+			t.Fatalf("ramp decreases at %+v", pt)
+		}
+		last = pt.Coverage
+	}
+	if last != prep.FinalCoverage() {
+		t.Errorf("ramp tops at %v, final coverage %v", last, prep.FinalCoverage())
+	}
+	ate, err := prep.NewATE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ate.Patterns() != len(prep.Patterns) {
+		t.Errorf("ATE holds %d patterns, artifact %d", ate.Patterns(), len(prep.Patterns))
+	}
+
+	// Invalid params are rejected before any work.
+	if _, err := PrepareSpec("mul4", Params{RandomPatterns: -1}); err == nil {
+		t.Error("negative pattern budget accepted")
+	}
+	if _, err := PrepareSpec("mul4", Params{SimWorkers: -1}); err == nil {
+		t.Error("negative sim workers accepted")
+	}
+	if _, err := Prepare(nil, Params{}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+}

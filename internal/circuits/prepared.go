@@ -1,0 +1,123 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tester"
+)
+
+// Params are the test-program knobs that shape a Prepared artifact.
+// Two preparations with equal Params over the same circuit are
+// interchangeable, which is what lets the Cache key on (spec, Params).
+type Params struct {
+	// RandomPatterns seeds the ordered production test set before the
+	// deterministic PODEM cleanup.
+	RandomPatterns int
+	// Seed makes the test program reproducible.
+	Seed int64
+	// Engine selects the fault-simulation engine for ATPG dropping and
+	// the coverage ramp; every engine yields an identical ramp, so this
+	// only affects speed.
+	Engine faultsim.Engine
+	// SimWorkers is the goroutine count for faultsim.Concurrent
+	// (0 = GOMAXPROCS); other engines ignore it.
+	SimWorkers int
+}
+
+// Validate rejects parameter values no preparation could honor.
+func (p Params) Validate() error {
+	if p.RandomPatterns < 0 {
+		return fmt.Errorf("circuits: random pattern count must be >= 0, got %d", p.RandomPatterns)
+	}
+	if p.SimWorkers < 0 {
+		return fmt.Errorf("circuits: sim worker count must be >= 0, got %d", p.SimWorkers)
+	}
+	return nil
+}
+
+// Prepared is the once-per-circuit artifact everything downstream
+// consumes: the validated circuit, its collapsed fault universe, the
+// ordered production test program, and the strobe-granular coverage
+// ramp. It is read-only after Prepare, so any number of lots,
+// replicates, and worker goroutines may share one instance; per-worker
+// mutable state (the ATE's simulator) is cloned via NewATE.
+type Prepared struct {
+	Circuit *netlist.Circuit
+	Stats   netlist.Stats
+	Params  Params
+	// Universe is the collapsed fault universe (one representative per
+	// equivalence class).
+	Universe []fault.Fault
+	// Patterns is the ordered production test set: bring-up and
+	// rising-weight random first (the gentle early ramp before the
+	// paper's first strobe), uniform random, then PODEM cleanup.
+	Patterns []logicsim.Pattern
+	// Curve is the cumulative coverage ramp at strobe granularity
+	// (pattern × output), the bookkeeping the Sentry used for Table 1.
+	Curve []faultsim.CoveragePoint
+	// Result is the full-program fault-simulation outcome.
+	Result faultsim.Result
+}
+
+// Prepare performs the once-per-circuit work: fault collapsing, test-
+// set construction (ATPG), and the strobe-granular coverage ramp. It is
+// the uncached entry point; campaigns share artifacts through a Cache.
+func Prepare(c *netlist.Circuit, p Params) (*Prepared, error) {
+	if c == nil {
+		return nil, fmt.Errorf("circuits: nil circuit")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	stats, err := c.ComputeStats()
+	if err != nil {
+		return nil, err
+	}
+	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	patterns, err := atpg.ProductionTestsEngine(c, p.RandomPatterns/2, p.RandomPatterns/2, p.Seed,
+		p.Engine, faultsim.Options{Workers: p.SimWorkers})
+	if err != nil {
+		return nil, err
+	}
+	curve, simRes, err := faultsim.StepCoverageCurveOpts(c, universe, patterns,
+		p.Engine, faultsim.Options{Workers: p.SimWorkers})
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Circuit:  c,
+		Stats:    stats,
+		Params:   p,
+		Universe: universe,
+		Patterns: patterns,
+		Curve:    curve,
+		Result:   simRes,
+	}, nil
+}
+
+// PrepareSpec resolves a unit spec and prepares it, uncached.
+func PrepareSpec(spec string, p Params) (*Prepared, error) {
+	c, err := Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(c, p)
+}
+
+// FinalCoverage returns the pattern set's final fault coverage.
+func (pr *Prepared) FinalCoverage() float64 { return pr.Result.Coverage() }
+
+// FaultCount returns the size of the collapsed fault universe.
+func (pr *Prepared) FaultCount() int { return len(pr.Universe) }
+
+// NewATE builds a tester over the shared pattern set, pre-simulating
+// the good machine. One ATE serves any number of sequential calls;
+// concurrent consumers clone one each.
+func (pr *Prepared) NewATE() (*tester.ATE, error) {
+	return tester.New(pr.Circuit, pr.Patterns)
+}

@@ -1,0 +1,240 @@
+// Package circuits is the central workload registry: it resolves
+// textual workload specs ("mul8", "rand7", "bench:c432.bench", a
+// directory of .bench files) to validated netlist.Circuits, and caches
+// the expensive once-per-circuit preparation (fault collapsing, the
+// production test program, the strobe-granular coverage ramp) so that
+// any number of lots, replicates, or worker goroutines share one
+// artifact per circuit. Every cmd resolves circuit names through this
+// package; none carries a private resolver.
+//
+// # Spec grammar
+//
+//	c17              ISCAS-85 c17 benchmark (6 NAND gates)
+//	rca<N>           N-bit ripple-carry adder
+//	mul<N>           N×N array multiplier (the paper-scale workload)
+//	parity<N>        N-input XOR parity tree
+//	dec<N>           N-to-2^N one-hot decoder with enable
+//	mux<N>           2^N-to-1 multiplexer tree
+//	cmp<N>           N-bit equality comparator
+//	rand<seed>       pseudo-random circuit (16 inputs, 400 gates,
+//	                 12 outputs), reproducible from the seed
+//	bench:<path>     circuit in ISCAS .bench format; <path> may be a
+//	                 file, a directory (expands to every *.bench file
+//	                 inside, sorted), or a glob pattern
+//	<path>.bench     shorthand for bench:<path>.bench
+//
+// A spec that names a file or builtin resolves to exactly one circuit;
+// a directory or glob spec expands to one circuit per matching .bench
+// file. Expand normalizes every spec to such unit specs, which are the
+// cache keys of Prepare.
+package circuits
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// builtin is one parameterized generator family of the registry.
+type builtin struct {
+	prefix string
+	doc    string
+	build  func(n int) (*netlist.Circuit, error)
+}
+
+// builtins lists every generator family, in the order List prints them.
+func builtins() []builtin {
+	return []builtin{
+		{"rca", "N-bit ripple-carry adder", netlist.RippleAdder},
+		{"mul", "N×N array multiplier (quadratic gate count, LSI-scale)", netlist.ArrayMultiplier},
+		{"parity", "N-input XOR parity tree (random-pattern friendly)", netlist.ParityTree},
+		{"dec", "N-to-2^N decoder with enable (random-pattern resistant)", netlist.Decoder},
+		{"mux", "2^N-to-1 multiplexer tree", netlist.MuxTree},
+		{"cmp", "N-bit equality comparator", netlist.Comparator},
+		{"rand", "pseudo-random circuit, 16 inputs × 400 gates × 12 outputs, seeded by N",
+			func(n int) (*netlist.Circuit, error) {
+				return netlist.RandomCircuit(fmt.Sprintf("rand%d", n), 16, 400, 12, int64(n))
+			}},
+	}
+}
+
+// Resolve maps one unit spec to a validated circuit. Directory and glob
+// specs (which may name several circuits) are rejected here; use Expand
+// first to normalize them to unit specs.
+func Resolve(spec string) (*netlist.Circuit, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("circuits: empty spec")
+	}
+	if path, ok := benchPath(spec); ok {
+		return resolveBenchFile(path)
+	}
+	if spec == "c17" {
+		return netlist.C17(), nil
+	}
+	for _, b := range builtins() {
+		var n int
+		if scan(spec, b.prefix+"%d", &n) {
+			c, err := b.build(n)
+			if err != nil {
+				return nil, fmt.Errorf("circuits: %s: %w", spec, err)
+			}
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("circuits: unknown spec %q (run with -list-circuits for the grammar)", spec)
+}
+
+// Expand normalizes one spec to unit specs: builtins map to themselves,
+// bench directories and globs fan out to one "bench:<file>" spec per
+// matching .bench file (sorted). A bench spec matching nothing is an
+// error, not a silent skip.
+func Expand(spec string) ([]string, error) {
+	spec = strings.TrimSpace(spec)
+	path, ok := benchPath(spec)
+	if !ok {
+		// Builtin: check the grammar so a typo fails at expansion time.
+		// Syntactic only — no synthesis happens until the spec is
+		// actually prepared, so expanding (and validating) a large grid
+		// costs nothing.
+		if err := checkBuiltin(spec); err != nil {
+			return nil, err
+		}
+		return []string{spec}, nil
+	}
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		path = filepath.Join(path, "*.bench")
+	}
+	if !strings.ContainsAny(path, "*?[") {
+		return []string{"bench:" + path}, nil
+	}
+	matches, err := filepath.Glob(path)
+	if err != nil {
+		return nil, fmt.Errorf("circuits: bad glob %q: %w", path, err)
+	}
+	var units []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, ".bench") {
+			units = append(units, "bench:"+m)
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("circuits: spec %q matches no .bench files", spec)
+	}
+	sort.Strings(units)
+	return units, nil
+}
+
+// ExpandAll expands a spec list into a deduplicated, order-preserving
+// unit-spec list.
+func ExpandAll(specs []string) ([]string, error) {
+	var units []string
+	seen := make(map[string]bool)
+	for _, spec := range specs {
+		u, err := Expand(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, unit := range u {
+			if !seen[unit] {
+				seen[unit] = true
+				units = append(units, unit)
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("circuits: no specs given")
+	}
+	return units, nil
+}
+
+// ResolveAll is ExpandAll followed by Resolve on every unit spec.
+func ResolveAll(specs []string) ([]*netlist.Circuit, error) {
+	units, err := ExpandAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*netlist.Circuit, len(units))
+	for i, u := range units {
+		if out[i], err = Resolve(u); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkBuiltin verifies a non-bench spec against the grammar without
+// synthesizing anything. Parameter-range errors (a width the generator
+// rejects) still surface at Resolve time.
+func checkBuiltin(spec string) error {
+	if spec == "c17" {
+		return nil
+	}
+	for _, b := range builtins() {
+		var n int
+		if scan(spec, b.prefix+"%d", &n) {
+			return nil
+		}
+	}
+	return fmt.Errorf("circuits: unknown spec %q (run with -list-circuits for the grammar)", spec)
+}
+
+// benchPath reports whether the spec names a .bench source and returns
+// the path part: either the explicit "bench:<path>" form or a bare path
+// ending in ".bench".
+func benchPath(spec string) (string, bool) {
+	if rest, ok := strings.CutPrefix(spec, "bench:"); ok {
+		return rest, true
+	}
+	if strings.HasSuffix(spec, ".bench") {
+		return spec, true
+	}
+	return "", false
+}
+
+// resolveBenchFile parses and validates one .bench file.
+func resolveBenchFile(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("circuits: %w", err)
+	}
+	defer f.Close()
+	c, err := netlist.ParseBench(path, f)
+	if err != nil {
+		return nil, fmt.Errorf("circuits: %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuits: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// List renders the spec grammar with one example per family, for the
+// cmds' -list-circuits flag.
+func List() string {
+	var sb strings.Builder
+	sb.WriteString("workload specs (comma-separable where a flag takes a list):\n")
+	sb.WriteString("  c17            ISCAS-85 c17 benchmark (6 NAND gates)\n")
+	for _, b := range builtins() {
+		fmt.Fprintf(&sb, "  %-14s %s\n", b.prefix+"<N>", b.doc)
+	}
+	sb.WriteString("  bench:<path>   ISCAS .bench netlist; a directory or glob expands\n")
+	sb.WriteString("                 to every matching *.bench file\n")
+	sb.WriteString("  <path>.bench   shorthand for bench:<path>.bench\n")
+	sb.WriteString("examples: mul8  cmp16  rand7  bench:c432.bench  bench:circuits/\n")
+	return sb.String()
+}
+
+func scan(s, format string, n *int) bool {
+	matched, err := fmt.Sscanf(s, format, n)
+	if err != nil || matched != 1 {
+		return false
+	}
+	// Reject trailing junk Sscanf tolerates ("mul8x" must not parse as
+	// mul8): the round-trip must reproduce the spec exactly.
+	return fmt.Sprintf(format, *n) == s
+}

@@ -1,0 +1,196 @@
+package circuits
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestResolveBuiltins(t *testing.T) {
+	cases := []struct {
+		spec   string
+		name   string
+		inputs int
+	}{
+		{"c17", "c17", 5},
+		{"rca4", "rca4", 9},
+		{"mul4", "mul4", 8},
+		{"parity8", "parity8", 8},
+		{"dec3", "dec3", 4},
+		{"mux2", "mux2", 6},
+		{"cmp8", "cmp8", 16},
+		{"rand7", "rand7", 16},
+	}
+	for _, tc := range cases {
+		c, err := Resolve(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if c.Name != tc.name {
+			t.Errorf("%s: name %q", tc.spec, c.Name)
+		}
+		if len(c.Inputs) != tc.inputs {
+			t.Errorf("%s: %d inputs, want %d", tc.spec, len(c.Inputs), tc.inputs)
+		}
+	}
+}
+
+func TestResolveRejectsJunk(t *testing.T) {
+	for _, spec := range []string{"", "warp9", "mul", "mul8x", "mulx8", "c18", "rand", "bench:/no/such/file.bench"} {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("Resolve(%q) accepted", spec)
+		}
+	}
+	// A width the generator itself rejects surfaces its error.
+	if _, err := Resolve("mul1"); err == nil {
+		t.Error("mul1 accepted (generator requires width >= 2)")
+	}
+}
+
+// TestResolveDeterministic is the cross-cmd regression for the resolver
+// drift the per-cmd copies used to accumulate: every consumer now
+// shares this registry, so one spec must always produce the same
+// circuit, bit for bit in its .bench serialization.
+func TestResolveDeterministic(t *testing.T) {
+	for _, spec := range []string{"c17", "mul4", "cmp8", "rand42", "dec3"} {
+		a, err := Resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wa, wb bytes.Buffer
+		if err := a.WriteBench(&wa); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteBench(&wb); err != nil {
+			t.Fatal(err)
+		}
+		if wa.String() != wb.String() {
+			t.Errorf("%s: two resolutions differ", spec)
+		}
+	}
+}
+
+func TestResolveBenchFileAndGlobs(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.bench", "a.bench"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(netlist.C17Bench), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise the directory expansion must ignore.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit file, both spellings.
+	path := filepath.Join(dir, "a.bench")
+	for _, spec := range []string{"bench:" + path, path} {
+		c, err := Resolve(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(c.Inputs) != 5 || len(c.Outputs) != 2 {
+			t.Errorf("%s: got %d inputs, %d outputs", spec, len(c.Inputs), len(c.Outputs))
+		}
+	}
+
+	// Directory and glob specs expand to sorted unit specs.
+	for _, spec := range []string{"bench:" + dir, "bench:" + filepath.Join(dir, "*.bench")} {
+		units, err := Expand(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		want := []string{"bench:" + filepath.Join(dir, "a.bench"), "bench:" + filepath.Join(dir, "b.bench")}
+		if len(units) != 2 || units[0] != want[0] || units[1] != want[1] {
+			t.Errorf("%s: units %v, want %v", spec, units, want)
+		}
+	}
+
+	// A glob matching nothing is an error, not a silent empty axis.
+	if _, err := Expand("bench:" + filepath.Join(dir, "none*.bench")); err == nil {
+		t.Error("empty glob accepted")
+	}
+	// Unit specs are rejected by Resolve when they still hold a glob.
+	if _, err := Resolve("bench:" + filepath.Join(dir, "*.bench")); err == nil {
+		t.Error("Resolve accepted a glob spec")
+	}
+}
+
+func TestExpandAllDeduplicates(t *testing.T) {
+	units, err := ExpandAll([]string{"mul4", "cmp8", "mul4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 || units[0] != "mul4" || units[1] != "cmp8" {
+		t.Errorf("units %v", units)
+	}
+	if _, err := ExpandAll(nil); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	if _, err := ExpandAll([]string{"warp9"}); err == nil {
+		t.Error("unknown spec accepted at expansion")
+	}
+	cs, err := ResolveAll([]string{"mul4", "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Name != "mul4" || cs[1].Name != "c17" {
+		t.Errorf("ResolveAll: %v", cs)
+	}
+}
+
+func TestListCoversGrammar(t *testing.T) {
+	l := List()
+	for _, want := range []string{"c17", "rca<N>", "mul<N>", "parity<N>", "dec<N>", "mux<N>", "cmp<N>", "rand<N>", "bench:<path>", ".bench"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("List() missing %q", want)
+		}
+	}
+}
+
+// TestNoPrivateResolverInCmds is the second half of the cross-cmd
+// regression: no cmd main may grow a private circuit-name resolver or
+// synthesize circuits directly from netlist generators again — they all
+// must route through this registry so one spec means one circuit
+// everywhere.
+func TestNoPrivateResolverInCmds(t *testing.T) {
+	cmdDir := filepath.Join("..", "..", "cmd")
+	banned := regexp.MustCompile(
+		`netlist\.(ArrayMultiplier|RippleAdder|ParityTree|Decoder|MuxTree|Comparator|RandomCircuit|C17|ParseBench)\(` +
+			`|func (builtinCircuit|loadCircuit)\(`)
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no cmds found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(cmdDir, e.Name(), "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range matches {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loc := banned.Find(src); loc != nil {
+				t.Errorf("%s: private circuit resolution %q — use internal/circuits", path, loc)
+			}
+		}
+	}
+}

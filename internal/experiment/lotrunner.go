@@ -3,23 +3,21 @@ package experiment
 import (
 	"math/rand"
 
-	"repro/internal/atpg"
+	"repro/internal/circuits"
 	"repro/internal/defect"
 	"repro/internal/estimate"
-	"repro/internal/fault"
 	"repro/internal/faultsim"
-	"repro/internal/logicsim"
 	"repro/internal/netlist"
 	"repro/internal/tester"
 )
 
-// LotRunner holds the expensive once-per-circuit state of the §5
-// experiment — the circuit, its collapsed fault universe, the ordered
-// production test set, the strobe-granular coverage ramp, and the ATE
-// with its pre-simulated good machine — so that many lots (different
-// yields, n0s, lot sizes, seeds) can be manufactured and tested against
-// the same test program without repeating ATPG or fault simulation.
-// RunTable1 runs one lot through it; internal/sweep fans out thousands.
+// LotRunner runs §5 lots against a circuits.Prepared artifact — the
+// circuit, its collapsed fault universe, the ordered production test
+// set, and the strobe-granular coverage ramp — so that many lots
+// (different yields, n0s, lot sizes, seeds) can be manufactured and
+// tested against the same test program without repeating ATPG or fault
+// simulation. RunTable1 runs one lot through it; internal/sweep fans
+// out thousands, sharing one Prepared per circuit via a circuits.Cache.
 //
 // A LotRunner is safe for concurrent RunLot calls: the shared state is
 // read-only after construction except the ATE's simulator, so each
@@ -28,18 +26,15 @@ import (
 // clone one ATE via NewATE and pass it to RunLotWith.
 type LotRunner struct {
 	cfg         Table1Config
-	circuit     *netlist.Circuit
-	stats       netlist.Stats
-	universe    []fault.Fault
-	patterns    []logicsim.Pattern
-	curve       []faultsim.CoveragePoint // strobe-granular ramp
-	simRes      faultsim.Result
+	prep        *circuits.Prepared
 	checkpoints []int // Table 1 reduction points on the ramp
 }
 
 // NewLotRunner validates the configuration and performs the
-// once-per-circuit work: test-set construction (ATPG) and the
-// strobe-granular coverage ramp.
+// once-per-circuit preparation uncached (circuits.Prepare): test-set
+// construction and the strobe-granular coverage ramp. Campaigns that
+// reuse circuits should prepare through a circuits.Cache and call
+// NewLotRunnerFrom instead.
 func NewLotRunner(cfg Table1Config) (*LotRunner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -47,69 +42,61 @@ func NewLotRunner(cfg Table1Config) (*LotRunner, error) {
 	c := cfg.Circuit
 	if c == nil {
 		var err error
-		c, err = netlist.ArrayMultiplier(8)
+		c, err = circuits.Resolve(DefaultCircuitSpec)
 		if err != nil {
 			return nil, err
 		}
 	}
-	stats, err := c.ComputeStats()
+	prep, err := circuits.Prepare(c, cfg.PrepareParams())
 	if err != nil {
 		return nil, err
 	}
-	universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
-	// Ordered pattern set in production order: bring-up patterns and
-	// rising-weight random first (gentle early ramp, like the
-	// initialization sequence before the paper's first strobe), uniform
-	// random, then deterministic cleanup.
-	patterns, err := atpg.ProductionTestsEngine(c, cfg.RandomPatterns/2, cfg.RandomPatterns/2, cfg.Seed,
-		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
-	if err != nil {
-		return nil, err
-	}
-	// Coverage ramp at strobe granularity (pattern × output), the
-	// bookkeeping the Sentry used for Table 1.
-	curve, simRes, err := faultsim.StepCoverageCurveOpts(c, universe, patterns,
-		cfg.Engine, faultsim.Options{Workers: cfg.SimWorkers})
-	if err != nil {
+	return NewLotRunnerFrom(prep, cfg)
+}
+
+// NewLotRunnerFrom builds a LotRunner over an existing Prepared
+// artifact; only the cheap lot-level state (the Table 1 checkpoint
+// selection) is computed here, so constructing many runners over one
+// artifact costs nothing. The artifact overrides cfg.Circuit.
+func NewLotRunnerFrom(prep *circuits.Prepared, cfg Table1Config) (*LotRunner, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &LotRunner{
-		cfg:      cfg,
-		circuit:  c,
-		stats:    stats,
-		universe: universe,
-		patterns: patterns,
-		curve:    curve,
-		simRes:   simRes,
+		cfg:  cfg,
+		prep: prep,
 		// Ten Table 1 checkpoints spread over the ramp; depends only on
 		// the curve, so compute once here rather than per lot.
-		checkpoints: rampCheckpoints(curve, 10),
+		checkpoints: rampCheckpoints(prep.Curve, 10),
 	}, nil
 }
 
+// Prepared returns the shared once-per-circuit artifact.
+func (lr *LotRunner) Prepared() *circuits.Prepared { return lr.prep }
+
 // Circuit returns the circuit under test.
-func (lr *LotRunner) Circuit() *netlist.Circuit { return lr.circuit }
+func (lr *LotRunner) Circuit() *netlist.Circuit { return lr.prep.Circuit }
 
 // Stats returns the circuit statistics.
-func (lr *LotRunner) Stats() netlist.Stats { return lr.stats }
+func (lr *LotRunner) Stats() netlist.Stats { return lr.prep.Stats }
 
 // FaultCount returns the size of the collapsed fault universe.
-func (lr *LotRunner) FaultCount() int { return len(lr.universe) }
+func (lr *LotRunner) FaultCount() int { return lr.prep.FaultCount() }
 
 // Patterns returns the number of test patterns in the production set.
-func (lr *LotRunner) Patterns() int { return len(lr.patterns) }
+func (lr *LotRunner) Patterns() int { return len(lr.prep.Patterns) }
 
 // Curve returns the strobe-granular cumulative coverage ramp.
-func (lr *LotRunner) Curve() []faultsim.CoveragePoint { return lr.curve }
+func (lr *LotRunner) Curve() []faultsim.CoveragePoint { return lr.prep.Curve }
 
 // FinalCoverage returns the pattern set's final fault coverage.
-func (lr *LotRunner) FinalCoverage() float64 { return lr.simRes.Coverage() }
+func (lr *LotRunner) FinalCoverage() float64 { return lr.prep.FinalCoverage() }
 
 // NewATE builds a tester over the shared pattern set, pre-simulating
 // the good machine. One ATE serves any number of sequential RunLotWith
 // calls; concurrent callers need one each.
 func (lr *LotRunner) NewATE() (*tester.ATE, error) {
-	return tester.New(lr.circuit, lr.patterns)
+	return lr.prep.NewATE()
 }
 
 // LotOutcome is one manufactured-and-tested lot: the raw step-granular
@@ -156,12 +143,12 @@ func (lr *LotRunner) RunLotWith(ate *tester.ATE, y, n0 float64, chips int, seed 
 		if err != nil {
 			return LotOutcome{}, err
 		}
-		lot, err = defect.GenerateLot(model, lr.universe, chips, rng)
+		lot, err = defect.GenerateLot(model, lr.prep.Universe, chips, rng)
 		if err != nil {
 			return LotOutcome{}, err
 		}
 	} else {
-		lot, err = defect.GenerateLotFromModel(y, n0, lr.universe, chips, rng)
+		lot, err = defect.GenerateLotFromModel(y, n0, lr.prep.Universe, chips, rng)
 		if err != nil {
 			return LotOutcome{}, err
 		}
@@ -171,7 +158,7 @@ func (lr *LotRunner) RunLotWith(ate *tester.ATE, y, n0 float64, chips int, seed 
 		return LotOutcome{}, err
 	}
 	// Reduce to Table 1 format at the precomputed ramp checkpoints.
-	rows, err := tester.FalloutTable(lotRes, lr.curve, lr.checkpoints)
+	rows, err := tester.FalloutTable(lotRes, lr.prep.Curve, lr.checkpoints)
 	if err != nil {
 		return LotOutcome{}, err
 	}

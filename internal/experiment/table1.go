@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/defect"
 	"repro/internal/estimate"
@@ -15,11 +16,15 @@ import (
 	"repro/internal/textplot"
 )
 
+// DefaultCircuitSpec is the workload the experiment falls back to when
+// no circuit is given: the 8-bit array multiplier (a few thousand
+// gates — the scaled-down stand-in for the paper's 25k-transistor
+// chip), resolved through the internal/circuits registry.
+const DefaultCircuitSpec = "mul8"
+
 // Table1Config parameterizes the end-to-end lot experiment.
 type Table1Config struct {
-	// Circuit under test; nil selects an 8-bit array multiplier
-	// (a few thousand gates — the scaled-down stand-in for the paper's
-	// 25k-transistor chip).
+	// Circuit under test; nil selects DefaultCircuitSpec.
 	Circuit *netlist.Circuit
 	// Chips in the lot (paper: 277).
 	Chips int
@@ -70,6 +75,18 @@ func (cfg Table1Config) Validate() error {
 		return fmt.Errorf("experiment: sim worker count must be >= 0, got %d", cfg.SimWorkers)
 	}
 	return nil
+}
+
+// PrepareParams maps the test-program knobs of the configuration onto
+// the circuits-layer preparation key, so campaigns can share Prepared
+// artifacts across configurations that differ only in lot parameters.
+func (cfg Table1Config) PrepareParams() circuits.Params {
+	return circuits.Params{
+		RandomPatterns: cfg.RandomPatterns,
+		Seed:           cfg.Seed,
+		Engine:         cfg.Engine,
+		SimWorkers:     cfg.SimWorkers,
+	}
 }
 
 // DefaultTable1Config returns the paper-matched configuration.

@@ -10,15 +10,19 @@ import (
 	"repro/internal/textplot"
 )
 
-// Table renders the sweep as one fallout table per grid cell.
+// Table renders the sweep as a workload summary followed by one fallout
+// table per grid cell.
 func (r *Result) Table() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Monte-Carlo reject-rate sweep — circuit %s (%s)\n", r.CircuitName, r.CircuitStats)
-	fmt.Fprintf(&sb, "collapsed faults: %d, patterns: %d, final coverage: %.4f, replicates/cell: %d\n",
-		r.FaultCount, r.PatternCount, r.FinalCoverage, r.Config.Replicates)
+	fmt.Fprintf(&sb, "Monte-Carlo reject-rate sweep — %d workload(s), replicates/cell: %d\n",
+		len(r.Workloads), r.Config.Replicates)
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&sb, "  %s (%s): collapsed faults %d, patterns %d, final coverage %.4f\n",
+			w.Name, w.Stats, w.FaultCount, w.PatternCount, w.FinalCoverage)
+	}
 	for _, cell := range r.Cells {
-		fmt.Fprintf(&sb, "\ncell y=%.3g n0=%.3g chips=%d — tested yield %.4f (lot yield %.4f), fit n0 %.2f [%.2f, %.2f] over %d fits (truth %.2f)\n",
-			cell.Yield, cell.N0, cell.Chips, cell.MeanTestedYield, cell.MeanLotYield,
+		fmt.Fprintf(&sb, "\ncell %s y=%.3g n0=%.3g chips=%d — tested yield %.4f (lot yield %.4f), fit n0 %.2f [%.2f, %.2f] over %d fits (truth %.2f)\n",
+			cell.Circuit, cell.Yield, cell.N0, cell.Chips, cell.MeanTestedYield, cell.MeanLotYield,
 			cell.FitN0Mean, cell.FitN0CILow, cell.FitN0CIHigh, cell.FitN0Count, cell.TrueN0Mean)
 		tb := tablefmt.New("coverage", "analytic r", "mean r", "95% CI", "n", "escapes", "passed")
 		for _, pt := range cell.Points {
@@ -38,14 +42,15 @@ func (r *Result) Table() string {
 }
 
 // CSV renders the sweep as one flat row per (cell, coverage cut); the
-// golden test pins this byte-for-byte.
+// golden test pins this byte-for-byte. The circuit column is the grid's
+// newest axis.
 func (r *Result) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("yield,n0,chips,replicates,target_coverage,coverage,analytic_r,mean_r,std_r,ci_lo,ci_hi,rej_samples,mean_escapes,mean_passed,mean_tested_yield,fit_n0_mean,true_n0_mean\n")
+	sb.WriteString("circuit,yield,n0,chips,replicates,target_coverage,coverage,analytic_r,mean_r,std_r,ci_lo,ci_hi,rej_samples,mean_escapes,mean_passed,mean_tested_yield,fit_n0_mean,true_n0_mean\n")
 	for _, cell := range r.Cells {
 		for _, pt := range cell.Points {
-			fmt.Fprintf(&sb, "%g,%g,%d,%d,%g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
-				cell.Yield, cell.N0, cell.Chips, cell.Replicates,
+			fmt.Fprintf(&sb, "%s,%g,%g,%d,%d,%g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				cell.Circuit, cell.Yield, cell.N0, cell.Chips, cell.Replicates,
 				pt.Target, pt.Coverage, pt.AnalyticR, pt.MeanR, pt.StdR,
 				pt.CILow, pt.CIHigh, pt.RejSamples, pt.MeanEscapes, pt.MeanPassed,
 				cell.MeanTestedYield, cell.FitN0Mean, cell.TrueN0Mean)
@@ -54,7 +59,7 @@ func (r *Result) CSV() string {
 	return sb.String()
 }
 
-// JSON renders the whole result (config included, circuit elided).
+// JSON renders the whole result (config included, cache elided).
 func (r *Result) JSON() (string, error) {
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -73,8 +78,8 @@ func (r *Result) Plot() string {
 			continue
 		}
 		p := textplot.Plot{
-			Title: fmt.Sprintf("reject rate vs coverage — y=%.3g n0=%.3g chips=%d, %d replicates (| = 95%% CI)",
-				cell.Yield, cell.N0, cell.Chips, cell.Replicates),
+			Title: fmt.Sprintf("reject rate vs coverage — %s y=%.3g n0=%.3g chips=%d, %d replicates (| = 95%% CI)",
+				cell.Circuit, cell.Yield, cell.N0, cell.Chips, cell.Replicates),
 			XLabel: "fault coverage f",
 			YLabel: "reject rate r(f), log scale",
 			LogY:   true,

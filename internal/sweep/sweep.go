@@ -1,16 +1,20 @@
 // Package sweep is the Monte-Carlo validation engine for the paper's
 // headline claim: it replicates the §5 lot experiment R times per grid
-// cell of (yield, n0, lot size), truncates every replicate's test
-// program at a set of coverage points, and aggregates the empirical
-// reject rate — escapes over shipped chips — with confidence intervals
-// to overlay on the analytic Eq. 8 curve.
+// cell of (circuit, yield, n0, lot size), truncates every replicate's
+// test program at a set of coverage points, and aggregates the
+// empirical reject rate — escapes over shipped chips — with confidence
+// intervals to overlay on the analytic Eq. 8 curve. The circuit axis is
+// what turns single-circuit reproduction into a multi-workload
+// campaign: the paper's claim is about defect statistics, not one lucky
+// netlist, so the same grid runs over every workload spec given.
 //
 // The expensive once-per-circuit work (ATPG, the strobe-granular
-// coverage ramp, good-machine pre-simulation) happens exactly once, in
-// an experiment.LotRunner shared by all replicates; each worker
-// goroutine clones only a tester. Per-replicate seeds are derived from
-// the base seed with a splitmix64 mix of the replicate's global task
-// index, and aggregation runs over replicates in index order, so
+// coverage ramp) happens exactly once per circuit, in a
+// circuits.Prepared artifact shared by all replicates through a
+// circuits.Cache; each worker goroutine clones only a tester.
+// Per-replicate seeds are derived from the base seed with a splitmix64
+// mix of the replicate's global task index (which spans the circuit
+// axis too), and aggregation runs over replicates in index order, so
 // results are bit-identical regardless of worker count or scheduling.
 package sweep
 
@@ -21,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
@@ -29,21 +34,29 @@ import (
 	"repro/internal/tester"
 )
 
-// Config parameterizes a sweep: the shared test program (circuit,
-// pattern budget, engine, seed) and the experiment grid.
+// Config parameterizes a sweep: the workloads, the shared test-program
+// knobs (pattern budget, engine, seed), and the experiment grid.
 type Config struct {
-	// Circuit under test; nil selects the 8-bit array multiplier.
-	// Excluded from JSON output — the netlist is not a result.
-	Circuit *netlist.Circuit `json:"-"`
-	// Yields, N0s, and LotSizes span the grid; every combination is one
-	// cell. Each must be non-empty.
+	// Circuits are the workload specs spanning the campaign's circuit
+	// axis, resolved through the internal/circuits registry (builtins,
+	// rand<seed>, bench: files, directories, globs). Each resolved
+	// circuit is one slice of the grid. Must be non-empty.
+	Circuits []string
+	// Cache, when non-nil, shares Prepared artifacts (ATPG + ramp)
+	// across campaigns; nil gives this sweep a private cache. Either
+	// way each circuit is prepared exactly once per cache.
+	// Excluded from JSON output — the cache is not a result.
+	Cache *circuits.Cache `json:"-"`
+	// Yields, N0s, and LotSizes span the grid; every combination (per
+	// circuit) is one cell. Each must be non-empty.
 	Yields   []float64
 	N0s      []float64
 	LotSizes []int
 	// Coverages are the truncation targets: each replicate's test
 	// program is cut at the first strobe reaching the target, and the
 	// reject rate of the shipped (passing) chips is measured there.
-	// Each must be in (0, 1] and reachable by the pattern set.
+	// Each must be in (0, 1] and reachable by every circuit's pattern
+	// set.
 	Coverages []float64
 	// Replicates is the number of independent lots per cell.
 	Replicates int
@@ -51,7 +64,7 @@ type Config struct {
 	// The aggregates do not depend on it.
 	Workers int
 	// RandomPatterns, Seed, Physical, Engine, and SimWorkers configure
-	// the shared test program exactly as in experiment.Table1Config.
+	// the per-circuit test program exactly as in experiment.Table1Config.
 	RandomPatterns int
 	Seed           int64
 	Physical       bool
@@ -60,9 +73,11 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper-matched single-cell sweep: the
-// (y=0.07, n0=8.8) column at the §7 operating points.
+// default workload's (y=0.07, n0=8.8) column at the §7 operating
+// points.
 func DefaultConfig() Config {
 	return Config{
+		Circuits:       []string{experiment.DefaultCircuitSpec},
 		Yields:         []float64{0.07},
 		N0s:            []float64{8.8},
 		LotSizes:       []int{2000},
@@ -73,10 +88,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// table1 builds the LotRunner configuration for one grid point.
+// table1 builds the lot-runner configuration for one grid point.
 func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
 	return experiment.Table1Config{
-		Circuit:        c.Circuit,
 		Chips:          chips,
 		Yield:          y,
 		N0:             n0,
@@ -89,8 +103,15 @@ func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
 }
 
 // Validate rejects empty or nonsense grids before any work happens.
-// Every grid cell must form a valid experiment.Table1Config.
+// Every grid cell must form a valid experiment.Table1Config, and every
+// circuit spec must expand (a typo fails here, not mid-campaign).
 func (c Config) Validate() error {
+	if len(c.Circuits) == 0 {
+		return fmt.Errorf("sweep: need at least one circuit spec")
+	}
+	if _, err := circuits.ExpandAll(c.Circuits); err != nil {
+		return err
+	}
 	if len(c.Yields) == 0 {
 		return fmt.Errorf("sweep: need at least one yield")
 	}
@@ -126,20 +147,32 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// workload is one circuit's slice of the campaign: its shared Prepared
+// artifact, the lot runner over it, and the campaign's coverage targets
+// resolved against this circuit's own ramp.
+type workload struct {
+	spec string // unit spec that produced the circuit
+	lr   *experiment.LotRunner
+	cuts []cut
+}
+
 // cellKey is one grid cell.
 type cellKey struct {
+	w     int // workload index
 	y, n0 float64
 	chips int
 }
 
-// cellList enumerates the grid in deterministic order: yield outermost,
-// then n0, then lot size.
-func (c Config) cellList() []cellKey {
+// cellList enumerates the grid in deterministic order: circuit
+// outermost, then yield, n0, lot size.
+func (s *Sweeper) cellList() []cellKey {
 	var cells []cellKey
-	for _, y := range c.Yields {
-		for _, n0 := range c.N0s {
-			for _, chips := range c.LotSizes {
-				cells = append(cells, cellKey{y: y, n0: n0, chips: chips})
+	for w := range s.workloads {
+		for _, y := range s.cfg.Yields {
+			for _, n0 := range s.cfg.N0s {
+				for _, chips := range s.cfg.LotSizes {
+					cells = append(cells, cellKey{w: w, y: y, n0: n0, chips: chips})
+				}
 			}
 		}
 	}
@@ -157,7 +190,7 @@ func replicateSeed(base int64, task int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// cut is one resolved truncation point of the shared test program.
+// cut is one resolved truncation point of a workload's test program.
 type cut struct {
 	Target   float64 // requested coverage
 	Coverage float64 // achieved coverage at the cut strobe
@@ -177,45 +210,78 @@ type repSummary struct {
 
 // Sweeper is a configured sweep with its once-per-circuit state built.
 type Sweeper struct {
-	cfg   Config
-	lr    *experiment.LotRunner
-	cells []cellKey
-	cuts  []cut
+	cfg       Config
+	workloads []workload
+	cells     []cellKey
 }
 
-// New validates the configuration, builds the shared LotRunner (ATPG +
-// coverage ramp), and resolves every coverage target to a strobe cut.
-// Unreachable targets are an error, not a silent skip.
+// New validates the configuration, prepares every workload exactly once
+// through the artifact cache (ATPG + coverage ramp), and resolves every
+// coverage target to a strobe cut on each circuit's own ramp.
+// Unreachable targets are an error naming the circuit, not a silent
+// skip.
 func New(cfg Config) (*Sweeper, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cells := cfg.cellList()
-	lr, err := experiment.NewLotRunner(cfg.table1(cells[0].y, cells[0].n0, cells[0].chips))
+	units, err := circuits.ExpandAll(cfg.Circuits)
 	if err != nil {
 		return nil, err
 	}
-	curve := lr.Curve()
-	cuts := make([]cut, len(cfg.Coverages))
-	for i, target := range cfg.Coverages {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = circuits.NewCache()
+	}
+	// Any valid grid point serves for the runner's config validation,
+	// and its PrepareParams is the preparation key every workload of
+	// this sweep shares.
+	t1 := cfg.table1(cfg.Yields[0], cfg.N0s[0], cfg.LotSizes[0])
+	s := &Sweeper{cfg: cfg, workloads: make([]workload, len(units))}
+	for i, unit := range units {
+		prep, err := cache.Get(unit, t1.PrepareParams())
+		if err != nil {
+			return nil, err
+		}
+		lr, err := experiment.NewLotRunnerFrom(prep, t1)
+		if err != nil {
+			return nil, err
+		}
+		cuts, err := resolveCuts(prep, cfg.Coverages)
+		if err != nil {
+			return nil, err
+		}
+		s.workloads[i] = workload{spec: unit, lr: lr, cuts: cuts}
+	}
+	s.cells = s.cellList()
+	return s, nil
+}
+
+// resolveCuts maps the requested coverage targets onto one circuit's
+// strobe-granular ramp.
+func resolveCuts(prep *circuits.Prepared, targets []float64) ([]cut, error) {
+	cuts := make([]cut, len(targets))
+	for i, target := range targets {
 		idx := -1
-		for j, pt := range curve {
+		for j, pt := range prep.Curve {
 			if pt.Coverage >= target {
 				idx = j
 				break
 			}
 		}
 		if idx < 0 {
-			return nil, fmt.Errorf("sweep: coverage target %v unreachable (pattern set tops out at %.4f)",
-				target, lr.FinalCoverage())
+			return nil, fmt.Errorf("sweep: coverage target %v unreachable on %s (pattern set tops out at %.4f)",
+				target, prep.Circuit.Name, prep.FinalCoverage())
 		}
-		cuts[i] = cut{Target: target, Coverage: curve[idx].Coverage, Step: idx}
+		cuts[i] = cut{Target: target, Coverage: prep.Curve[idx].Coverage, Step: idx}
 	}
-	return &Sweeper{cfg: cfg, lr: lr, cells: cells, cuts: cuts}, nil
+	return cuts, nil
 }
 
-// Runner exposes the shared LotRunner (for reporting circuit facts).
-func (s *Sweeper) Runner() *experiment.LotRunner { return s.lr }
+// Workloads returns the resolved circuit count (for reporting).
+func (s *Sweeper) Workloads() int { return len(s.workloads) }
+
+// Runner exposes a workload's LotRunner (for reporting circuit facts).
+func (s *Sweeper) Runner(i int) *experiment.LotRunner { return s.workloads[i].lr }
 
 // Run fans cells × replicates over the worker pool and aggregates.
 func (s *Sweeper) Run() (*Result, error) {
@@ -250,18 +316,24 @@ func (s *Sweeper) Run() (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One ATE per worker amortizes the good-machine
-			// pre-simulation across its replicates.
-			ate, err := s.lr.NewATE()
-			if err != nil {
-				fail(err)
-				return
-			}
+			// One ATE per (worker, workload), built on first use,
+			// amortizes the good-machine pre-simulation across the
+			// worker's replicates of that circuit.
+			ates := make([]*tester.ATE, len(s.workloads))
 			for t := range tasks {
 				if failed.Load() {
 					return
 				}
-				if err := s.runTask(ate, t, summaries); err != nil {
+				wi := s.cells[t/rCount].w
+				if ates[wi] == nil {
+					ate, err := s.workloads[wi].lr.NewATE()
+					if err != nil {
+						fail(err)
+						return
+					}
+					ates[wi] = ate
+				}
+				if err := s.runTask(ates[wi], t, summaries); err != nil {
 					fail(err)
 					return
 				}
@@ -279,14 +351,15 @@ func (s *Sweeper) Run() (*Result, error) {
 // its summary slot.
 func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) error {
 	cell := s.cells[task/s.cfg.Replicates]
+	wl := s.workloads[cell.w]
 	seed := replicateSeed(s.cfg.Seed, task)
-	out, err := s.lr.RunLotWith(ate, cell.y, cell.n0, cell.chips, seed)
+	out, err := wl.lr.RunLotWith(ate, cell.y, cell.n0, cell.chips, seed)
 	if err != nil {
 		return err
 	}
 	sum := repSummary{
-		passed:      make([]int, len(s.cuts)),
-		escapes:     make([]int, len(s.cuts)),
+		passed:      make([]int, len(wl.cuts)),
+		escapes:     make([]int, len(wl.cuts)),
 		testedYield: out.TestedYield,
 		lotYield:    out.LotYield,
 		trueN0:      out.TrueN0,
@@ -295,7 +368,7 @@ func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) err
 	// A chip fails the program truncated at cut c iff its first failing
 	// strobe is inside the prefix; everything else ships. Defective
 	// shipped chips are the escapes the reject rate counts.
-	for ci, c := range s.cuts {
+	for ci, c := range wl.cuts {
 		failedChips := 0
 		for _, ff := range out.FirstFail {
 			if ff != tester.NeverFails && ff <= c.Step {
@@ -316,26 +389,30 @@ func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) err
 // in replicate order (independent of scheduling).
 func (s *Sweeper) aggregate(summaries []repSummary) (*Result, error) {
 	rCount := s.cfg.Replicates
-	res := &Result{
-		Config:        s.cfg,
-		CircuitName:   s.lr.Circuit().Name,
-		CircuitStats:  s.lr.Stats(),
-		FaultCount:    s.lr.FaultCount(),
-		PatternCount:  s.lr.Patterns(),
-		FinalCoverage: s.lr.FinalCoverage(),
+	res := &Result{Config: s.cfg}
+	for _, wl := range s.workloads {
+		res.Workloads = append(res.Workloads, WorkloadInfo{
+			Spec:          wl.spec,
+			Name:          wl.lr.Circuit().Name,
+			Stats:         wl.lr.Stats(),
+			FaultCount:    wl.lr.FaultCount(),
+			PatternCount:  wl.lr.Patterns(),
+			FinalCoverage: wl.lr.FinalCoverage(),
+		})
 	}
 	for ci, cell := range s.cells {
+		wl := s.workloads[cell.w]
 		model, err := core.New(cell.y, cell.n0)
 		if err != nil {
 			return nil, err
 		}
-		rejAcc := make([]Welford, len(s.cuts))
-		escAcc := make([]Welford, len(s.cuts))
-		passAcc := make([]Welford, len(s.cuts))
+		rejAcc := make([]Welford, len(wl.cuts))
+		escAcc := make([]Welford, len(wl.cuts))
+		passAcc := make([]Welford, len(wl.cuts))
 		var tyAcc, lyAcc, trueAcc, fitAcc Welford
 		for rep := 0; rep < rCount; rep++ {
 			sum := summaries[ci*rCount+rep]
-			for j := range s.cuts {
+			for j := range wl.cuts {
 				// A lot that ships nothing has no reject rate; exclude
 				// it from the mean/CI (like a non-converged fit) rather
 				// than recording a biasing zero. RejSamples surfaces
@@ -354,13 +431,14 @@ func (s *Sweeper) aggregate(summaries []repSummary) (*Result, error) {
 			}
 		}
 		cr := CellResult{
+			Circuit:    wl.lr.Circuit().Name,
 			Yield:      cell.y,
 			N0:         cell.n0,
 			Chips:      cell.chips,
 			Replicates: rCount,
-			Points:     make([]PointStat, len(s.cuts)),
+			Points:     make([]PointStat, len(wl.cuts)),
 		}
-		for j, c := range s.cuts {
+		for j, c := range wl.cuts {
 			lo, hi := rejAcc[j].CI95()
 			cr.Points[j] = PointStat{
 				Target:      c.Target,
@@ -414,6 +492,7 @@ type PointStat struct {
 
 // CellResult is one grid cell's aggregate.
 type CellResult struct {
+	Circuit    string // resolved circuit name of the cell's workload
 	Yield      float64
 	N0         float64
 	Chips      int
@@ -431,13 +510,20 @@ type CellResult struct {
 	FitN0CIHigh float64
 }
 
-// Result is a finished sweep.
-type Result struct {
-	Config        Config
-	CircuitName   string
-	CircuitStats  netlist.Stats
+// WorkloadInfo is one circuit's preparation facts: what the campaign
+// amortized across its cells and replicates.
+type WorkloadInfo struct {
+	Spec          string // unit spec the registry resolved
+	Name          string // circuit name
+	Stats         netlist.Stats
 	FaultCount    int
 	PatternCount  int
 	FinalCoverage float64
-	Cells         []CellResult
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Config    Config
+	Workloads []WorkloadInfo
+	Cells     []CellResult
 }

@@ -7,19 +7,16 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/netlist"
+	"repro/internal/circuits"
 )
 
-// smallConfig is the fixed-seed mul4 grid the golden and determinism
-// tests share: two yields × one n0 × one lot size, two cuts.
+// smallConfig is the fixed-seed two-circuit grid the golden and
+// determinism tests share: two workloads × two yields × one n0 × one
+// lot size, two cuts.
 func smallConfig(t *testing.T) Config {
 	t.Helper()
-	c, err := netlist.ArrayMultiplier(4)
-	if err != nil {
-		t.Fatal(err)
-	}
 	return Config{
-		Circuit:        c,
+		Circuits:       []string{"mul4", "cmp8"},
 		Yields:         []float64{0.2, 0.4},
 		N0s:            []float64{3},
 		LotSizes:       []int{80},
@@ -32,18 +29,23 @@ func smallConfig(t *testing.T) Config {
 }
 
 func TestSweepGolden(t *testing.T) {
-	// Byte-for-byte pin of the CSV on a small fixed-seed grid: any
-	// change to seed derivation, aggregation order, lot generation, or
-	// the test-set construction shows up here first.
+	// Byte-for-byte pin of the CSV on a small fixed-seed two-circuit
+	// grid: any change to spec expansion, seed derivation, aggregation
+	// order, lot generation, or the test-set construction shows up here
+	// first.
 	res, err := Run(smallConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = `yield,n0,chips,replicates,target_coverage,coverage,analytic_r,mean_r,std_r,ci_lo,ci_hi,rej_samples,mean_escapes,mean_passed,mean_tested_yield,fit_n0_mean,true_n0_mean
-0.2,3,80,4,0.3,0.310714,0.596948,0.635218,0.123345,0.514341,0.756094,4,28.75,45,0.20625,2.33543,2.97942
-0.2,3,80,4,0.6,0.610714,0.314627,0.439935,0.163475,0.279733,0.600138,4,12.75,29,0.20625,2.33543,2.97942
-0.4,3,80,4,0.3,0.310714,0.357079,0.361577,0.0645611,0.298309,0.424846,4,18,49.75,0.396875,2.96777,2.91392
-0.4,3,80,4,0.6,0.610714,0.146865,0.192155,0.0486393,0.14449,0.239821,4,7.5,39.25,0.396875,2.96777,2.91392
+	const want = `circuit,yield,n0,chips,replicates,target_coverage,coverage,analytic_r,mean_r,std_r,ci_lo,ci_hi,rej_samples,mean_escapes,mean_passed,mean_tested_yield,fit_n0_mean,true_n0_mean
+mul4,0.2,3,80,4,0.3,0.310714,0.596948,0.635218,0.123345,0.514341,0.756094,4,28.75,45,0.20625,2.33543,2.97942
+mul4,0.2,3,80,4,0.6,0.610714,0.314627,0.439935,0.163475,0.279733,0.600138,4,12.75,29,0.20625,2.33543,2.97942
+mul4,0.4,3,80,4,0.3,0.310714,0.357079,0.361577,0.0645611,0.298309,0.424846,4,18,49.75,0.396875,2.96777,2.91392
+mul4,0.4,3,80,4,0.6,0.610714,0.146865,0.192155,0.0486393,0.14449,0.239821,4,7.5,39.25,0.396875,2.96777,2.91392
+cmp8,0.2,3,80,4,0.3,0.354167,0.559898,0.563987,0.0211573,0.543253,0.58472,4,23,40.75,0.221875,2.74853,3.02508
+cmp8,0.2,3,80,4,0.6,0.604167,0.321083,0.284264,0.0456202,0.239557,0.328971,4,7,24.75,0.221875,2.74853,3.02508
+cmp8,0.4,3,80,4,0.3,0.354167,0.322986,0.44255,0.0445465,0.398895,0.486204,4,23,51.75,0.359375,2.97535,3.077
+cmp8,0.4,3,80,4,0.6,0.604167,0.150635,0.162144,0.0736697,0.0899487,0.234339,4,5.75,34.5,0.359375,2.97535,3.077
 `
 	if got := res.CSV(); got != want {
 		t.Errorf("golden CSV drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -52,8 +54,9 @@ func TestSweepGolden(t *testing.T) {
 
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	// The aggregates must be bit-identical no matter how the replicates
-	// are scheduled: per-replicate seeds depend only on the task index,
-	// and aggregation folds in index order.
+	// are scheduled — including across the circuit axis: per-replicate
+	// seeds depend only on the global task index, and aggregation folds
+	// in index order.
 	var results []*Result
 	var csvs []string
 	for _, workers := range []int{1, 8} {
@@ -73,6 +76,38 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	if !reflect.DeepEqual(results[0].Cells, results[1].Cells) {
 		t.Error("aggregated cells differ between worker counts")
 	}
+	if !reflect.DeepEqual(results[0].Workloads, results[1].Workloads) {
+		t.Error("workload info differs between worker counts")
+	}
+}
+
+func TestSweepPreparesEachCircuitOnce(t *testing.T) {
+	// The exactly-once guarantee of the campaign: however many cells,
+	// replicates, and workers consume a circuit, its Prepared artifact
+	// (ATPG + ramp) is built once. The counter-instrumented cache is
+	// the proof.
+	cache := circuits.NewCache()
+	cfg := smallConfig(t)
+	cfg.Cache = cache
+	cfg.Workers = 8
+	cfg.Replicates = 6
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cache.Builds(), len(cfg.Circuits); got != want {
+		t.Errorf("campaign built %d artifacts for %d circuits", got, want)
+	}
+	// A second campaign over the same cache (same specs and params)
+	// rebuilds nothing.
+	cfg2 := smallConfig(t)
+	cfg2.Cache = cache
+	cfg2.Yields = []float64{0.3}
+	if _, err := Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cache.Builds(), len(cfg.Circuits); got != want {
+		t.Errorf("shared cache rebuilt artifacts: %d builds for %d circuits", got, want)
+	}
 }
 
 func TestSweepValidation(t *testing.T) {
@@ -80,6 +115,8 @@ func TestSweepValidation(t *testing.T) {
 		name   string
 		mutate func(*Config)
 	}{
+		{"no circuits", func(c *Config) { c.Circuits = nil }},
+		{"unknown circuit", func(c *Config) { c.Circuits = []string{"mul4", "warp9"} }},
 		{"no yields", func(c *Config) { c.Yields = nil }},
 		{"no n0s", func(c *Config) { c.N0s = nil }},
 		{"no lot sizes", func(c *Config) { c.LotSizes = nil }},
@@ -99,7 +136,8 @@ func TestSweepValidation(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
-	// An unreachable coverage target is an error, not a silent skip.
+	// An unreachable coverage target is an error naming the circuit,
+	// not a silent skip.
 	cfg := smallConfig(t)
 	cfg.Coverages = []float64{0.9999999}
 	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "unreachable") {
@@ -113,7 +151,7 @@ func TestSweepRendersAllFormats(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := res.Table()
-	for _, want := range []string{"Monte-Carlo", "analytic r", "95% CI", "fit n0"} {
+	for _, want := range []string{"Monte-Carlo", "2 workload(s)", "mul4", "cmp8", "analytic r", "95% CI", "fit n0"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q", want)
 		}
@@ -122,7 +160,7 @@ func TestSweepRendersAllFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"\"Cells\"", "\"AnalyticR\"", "\"CIHigh\""} {
+	for _, want := range []string{"\"Workloads\"", "\"Cells\"", "\"Circuit\"", "\"AnalyticR\"", "\"CIHigh\""} {
 		if !strings.Contains(js, want) {
 			t.Errorf("json missing %q", want)
 		}
@@ -131,8 +169,10 @@ func TestSweepRendersAllFormats(t *testing.T) {
 		t.Error("json leaked the netlist")
 	}
 	plot := res.Plot()
-	if !strings.Contains(plot, "Eq. 8") || !strings.Contains(plot, "monte-carlo") {
-		t.Errorf("plot incomplete:\n%s", plot)
+	for _, want := range []string{"Eq. 8", "monte-carlo", "mul4", "cmp8"} {
+		if !strings.Contains(plot, want) {
+			t.Errorf("plot missing %q:\n%s", want, plot)
+		}
 	}
 }
 
@@ -204,6 +244,7 @@ func TestSweepBracketsPaperHeadline(t *testing.T) {
 		t.Skip("multi-second Monte-Carlo run")
 	}
 	cfg := Config{
+		Circuits:       []string{"mul8"},
 		Yields:         []float64{0.07},
 		N0s:            []float64{8, 8.8},
 		LotSizes:       []int{6000},
@@ -252,12 +293,8 @@ func TestZeroShippedReplicatesExcluded(t *testing.T) {
 	// program is long enough; those replicates have no reject rate and
 	// must be excluded from the mean/CI (and counted in RejSamples),
 	// not folded in as zeros.
-	c, err := netlist.ArrayMultiplier(4)
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := Config{
-		Circuit:        c,
+		Circuits:       []string{"mul4"},
 		Yields:         []float64{0.07},
 		N0s:            []float64{5},
 		LotSizes:       []int{2},
