@@ -32,10 +32,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x .
 
 # Race-detect the concurrent layers: the artifact cache, the sweep
-# worker pool, and the lot experiment it drives (-short skips the
-# multi-second Monte-Carlo run).
+# worker pool, the lot experiment it drives, and the ATE substrate the
+# workers clone over one shared circuit (-short skips the multi-second
+# Monte-Carlo run).
 race:
-	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/
+	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/ ./internal/tester/
 
 # Tiny end-to-end Monte-Carlo grid through the real CLI over a
 # two-circuit campaign: seconds, not minutes, yet it exercises the

@@ -10,8 +10,10 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/atpg"
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/defect"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
 	"repro/internal/fault"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
 	"repro/internal/sweep"
+	"repro/internal/tester"
 )
 
 // once guards the one-time headline printouts so -benchtime doesn't
@@ -152,6 +155,59 @@ func BenchmarkEngines(b *testing.B) {
 				b.ReportMetric(
 					float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(reps)*len(patterns)),
 					"ns/fault-pattern")
+			})
+		}
+	}
+}
+
+// BenchmarkLotEngines is the ATE lot-engine matrix, the counterpart of
+// BenchmarkEngines for the lot-testing path: every lot engine first-
+// fail-tests the same paper-shaped lot (2000 chips, y=0.07, n0=8.8)
+// against a production pattern set, at strobe granularity. The chips/s
+// metric is the campaign-throughput number the chip-parallel engine is
+// judged on (the acceptance bar is ≥2x serial on mul8).
+func BenchmarkLotEngines(b *testing.B) {
+	workloads := []struct {
+		name  string
+		build func() (*netlist.Circuit, error)
+	}{
+		{"mul8", func() (*netlist.Circuit, error) { return netlist.ArrayMultiplier(8) }},
+		{"cmp16", func() (*netlist.Circuit, error) { return netlist.Comparator(16) }},
+	}
+	const chips = 2000
+	for _, e := range tester.LotEngines() {
+		for _, wl := range workloads {
+			b.Run(e.String()+"/"+wl.name, func(b *testing.B) {
+				c, err := wl.build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				universe := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+				patterns, err := atpg.ProductionTests(c, 96, 96, 1981)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := tester.NewEngine(c, patterns, e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(1))
+				lot, err := defect.GenerateLotFromModel(0.07, 8.8, universe, chips, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm-up outside the timer (cone/levelization caches,
+				// universe-conversion cache).
+				if _, err := a.TestLotSteps(lot); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.TestLotSteps(lot); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(chips*b.N)/b.Elapsed().Seconds(), "chips/s")
 			})
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/experiment"
+	"repro/internal/tester"
 )
 
 func main() {
@@ -29,11 +30,18 @@ func main() {
 		"workload spec of the DUT (see -list-circuits)")
 	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	physical := flag.Bool("physical", false, "generate the lot through the physical-defect layer")
+	lotEngineName := flag.String("lotengine", tester.ChipParallel.String(),
+		"ATE lot engine: chip-parallel (63 chips + good machine per word) or serial (per-chip oracle)")
 	flag.Parse()
 
 	if *listCircuits {
 		fmt.Print(circuits.List())
 		return
+	}
+	lotEngine, err := tester.ParseLotEngine(*lotEngineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotsim:", err)
+		os.Exit(1)
 	}
 	cfg := experiment.Table1Config{
 		Chips:          *chips,
@@ -42,6 +50,7 @@ func main() {
 		RandomPatterns: *random,
 		Seed:           *seed,
 		Physical:       *physical,
+		LotEngine:      lotEngine,
 	}
 	// Fail fast on nonsense parameters before resolving the circuit or
 	// running any ATPG.

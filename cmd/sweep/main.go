@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/faultsim"
 	"repro/internal/sweep"
+	"repro/internal/tester"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func main() {
 	physical := flag.Bool("physical", false, "generate lots through the physical-defect layer")
 	engineName := flag.String("engine", "ppsfp", "fault-simulation engine: serial, ppsfp, deductive, pf, concurrent")
 	simWorkers := flag.Int("simworkers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
+	lotEngineName := flag.String("lotengine", tester.ChipParallel.String(),
+		"ATE lot engine: chip-parallel or serial (bit-identical results)")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
 	flag.Parse()
@@ -47,14 +50,14 @@ func main() {
 		return
 	}
 	if err := run(*circuitSpecs, *yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
-		*random, *physical, *engineName, *simWorkers, *format, *plot); err != nil {
+		*random, *physical, *engineName, *simWorkers, *lotEngineName, *format, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
 func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers int, seed int64,
-	random int, physical bool, engineName string, simWorkers int, format string, plot bool) error {
+	random int, physical bool, engineName string, simWorkers int, lotEngineName, format string, plot bool) error {
 	specs := splitList(circuitSpecs)
 	if len(specs) == 0 {
 		return fmt.Errorf("-circuits: need at least one workload spec")
@@ -79,6 +82,10 @@ func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers
 	if err != nil {
 		return err
 	}
+	lotEngine, err := tester.ParseLotEngine(lotEngineName)
+	if err != nil {
+		return err
+	}
 	switch format {
 	case "table", "csv", "json":
 	default:
@@ -97,6 +104,7 @@ func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers
 		Physical:       physical,
 		Engine:         engine,
 		SimWorkers:     simWorkers,
+		LotEngine:      lotEngine,
 	}
 	// Fail fast on nonsense grids or unknown specs before any ATPG.
 	if err := cfg.Validate(); err != nil {

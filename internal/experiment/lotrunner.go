@@ -93,10 +93,16 @@ func (lr *LotRunner) Curve() []faultsim.CoveragePoint { return lr.prep.Curve }
 func (lr *LotRunner) FinalCoverage() float64 { return lr.prep.FinalCoverage() }
 
 // NewATE builds a tester over the shared pattern set, pre-simulating
-// the good machine. One ATE serves any number of sequential RunLotWith
-// calls; concurrent callers need one each.
+// the good machine and selecting the configured lot engine. One ATE
+// serves any number of sequential RunLotWith calls; concurrent callers
+// need one each.
 func (lr *LotRunner) NewATE() (*tester.ATE, error) {
-	return lr.prep.NewATE()
+	ate, err := lr.prep.NewATE()
+	if err != nil {
+		return nil, err
+	}
+	ate.SetEngine(lr.cfg.LotEngine)
+	return ate, nil
 }
 
 // LotOutcome is one manufactured-and-tested lot: the raw step-granular

@@ -51,6 +51,11 @@ type Table1Config struct {
 	// faultsim.Concurrent (0 = GOMAXPROCS); every other engine is
 	// single-threaded and ignores it.
 	SimWorkers int
+	// LotEngine selects the ATE's lot-testing engine. The zero value is
+	// the default chip-parallel engine (good machine + 63 chips in one
+	// word's bit-lanes); tester.Serial is the per-chip oracle, kept as
+	// an opt-out. Results are bit-identical either way.
+	LotEngine tester.LotEngine
 }
 
 // Validate rejects configurations that would silently produce NaN or
@@ -73,6 +78,9 @@ func (cfg Table1Config) Validate() error {
 	}
 	if cfg.SimWorkers < 0 {
 		return fmt.Errorf("experiment: sim worker count must be >= 0, got %d", cfg.SimWorkers)
+	}
+	if !cfg.LotEngine.Known() {
+		return fmt.Errorf("experiment: unknown lot engine %v", cfg.LotEngine)
 	}
 	return nil
 }

@@ -39,6 +39,13 @@ type RejectRateValidation struct {
 // ValidateRejectRate runs the validation at several truncation points
 // of the pattern set. Chips should be large (tens of thousands) for
 // the measured rate to resolve sub-percent reject rates.
+//
+// The whole lot is first-fail-tested exactly once, against the full
+// pattern set: a chip passes the program truncated at pattern cut iff
+// its first failing pattern lies at or beyond the cut, so one pass
+// serves every truncation point (the same reduction internal/sweep
+// uses). Earlier revisions rebuilt a fresh ATE — re-simulating the good
+// machine — and retested the entire lot at every truncation point.
 func ValidateRejectRate(c *netlist.Circuit, y, n0 float64, chips int, truncations []float64, seed int64) (RejectRateValidation, error) {
 	if chips < 100 {
 		return RejectRateValidation{}, fmt.Errorf("experiment: need >= 100 chips")
@@ -62,6 +69,20 @@ func ValidateRejectRate(c *netlist.Circuit, y, n0 float64, chips int, truncation
 	if err != nil {
 		return RejectRateValidation{}, err
 	}
+	ate, err := tester.New(c, patterns)
+	if err != nil {
+		return RejectRateValidation{}, err
+	}
+	lotRes, err := ate.TestLot(lot)
+	if err != nil {
+		return RejectRateValidation{}, err
+	}
+	good := 0
+	for _, chip := range lot.Chips {
+		if !chip.Defective() {
+			good++
+		}
+	}
 	out := RejectRateValidation{Yield: y, N0: n0, Chips: chips}
 	seen := make(map[int]bool)
 	for _, target := range truncations {
@@ -77,24 +98,24 @@ func ValidateRejectRate(c *netlist.Circuit, y, n0 float64, chips int, truncation
 			continue // unreachable target, or same prefix as a previous one
 		}
 		seen[cut] = true
-		ate, err := tester.New(c, patterns[:cut])
-		if err != nil {
-			return RejectRateValidation{}, err
+		// Ship whatever the truncated program passes; the defective
+		// shipped chips are the escapes. Counted in integers — the
+		// tester counted them exactly, no yield round-trip needed.
+		passed := 0
+		for _, ff := range lotRes.FirstFail {
+			if ff == tester.NeverFails || ff >= cut {
+				passed++
+			}
 		}
-		lotRes, err := ate.TestLot(lot)
-		if err != nil {
-			return RejectRateValidation{}, err
-		}
-		passed := int(lotRes.TestedYield*float64(chips) + 0.5)
 		achieved := curve[cut-1].Coverage
 		row := RejectRateRow{
 			Coverage:   achieved,
 			PredictedR: m.RejectRate(achieved),
 			Passed:     passed,
-			Escapes:    lotRes.Escapes,
+			Escapes:    passed - good,
 		}
 		if passed > 0 {
-			row.MeasuredR = float64(lotRes.Escapes) / float64(passed)
+			row.MeasuredR = float64(row.Escapes) / float64(passed)
 		}
 		out.Rows = append(out.Rows, row)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/netlist"
+	"repro/internal/tester"
 )
 
 func TestValidateRejectRateEndToEnd(t *testing.T) {
@@ -75,6 +76,41 @@ func TestValidateRejectRateWadsackComparison(t *testing.T) {
 	}
 }
 
+func TestValidateRejectRateCountsAreExact(t *testing.T) {
+	// Passed and Escapes are integer counts off one first-fail pass:
+	// monotone in coverage, internally consistent with the measured
+	// rate, and Passed - Escapes (the truly good shipped chips) is the
+	// same at every cut.
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateRejectRate(c, 0.3, 6, 5000, []float64{0.4, 0.6, 0.8}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("only %d rows", len(res.Rows))
+	}
+	good := res.Rows[0].Passed - res.Rows[0].Escapes
+	for i, row := range res.Rows {
+		if row.Passed < 0 || row.Escapes < 0 || row.Escapes > row.Passed {
+			t.Errorf("row %d: nonsense counts passed=%d escapes=%d", i, row.Passed, row.Escapes)
+		}
+		if row.Passed-row.Escapes != good {
+			t.Errorf("row %d: good shipped chips drifted: %d vs %d", i, row.Passed-row.Escapes, good)
+		}
+		if row.Passed > 0 {
+			if want := float64(row.Escapes) / float64(row.Passed); row.MeasuredR != want {
+				t.Errorf("row %d: MeasuredR %v != escapes/passed %v", i, row.MeasuredR, want)
+			}
+		}
+		if i > 0 && row.Passed > res.Rows[i-1].Passed {
+			t.Errorf("row %d: passed count grew with coverage", i)
+		}
+	}
+}
+
 func TestValidateRejectRateValidation(t *testing.T) {
 	c, err := netlist.ArrayMultiplier(4)
 	if err != nil {
@@ -111,6 +147,7 @@ func TestTable1ConfigValidate(t *testing.T) {
 		{"n0 infinite", func(c *Table1Config) { c.N0 = math.Inf(1) }},
 		{"negative patterns", func(c *Table1Config) { c.RandomPatterns = -1 }},
 		{"negative workers", func(c *Table1Config) { c.SimWorkers = -2 }},
+		{"bogus lot engine", func(c *Table1Config) { c.LotEngine = tester.LotEngine(42) }},
 	}
 	for _, tc := range cases {
 		cfg := DefaultTable1Config()

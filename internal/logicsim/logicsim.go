@@ -62,11 +62,12 @@ func (b PatternBlock) Mask() uint64 {
 // array indexed by gate ID and is reused across blocks; it is not safe
 // for concurrent use (create one per goroutine).
 type Simulator struct {
-	c     *netlist.Circuit
-	order []int
-	val   []uint64
-	mask  uint64   // valid-pattern mask of the last Run block
-	saved []uint64 // scratch for RunWithFaultCone save/restore
+	c      *netlist.Circuit
+	order  []int
+	val    []uint64
+	mask   uint64      // valid-pattern mask of the last Run block
+	saved  []uint64    // scratch for RunWithFaultCone save/restore
+	forces *LaneForces // scratch forcing table for RunWithFaults
 }
 
 // NewSimulator prepares a simulator for the circuit, levelizing it.

@@ -16,66 +16,124 @@ type Injection struct {
 	Stuck bool
 }
 
+// LaneForces is an array-indexed multi-fault forcing table over the 64
+// bit-lanes of a word: each fault site carries a careMask (which lanes
+// are forced there) and forceBits (the stuck values of those lanes),
+// applied as v = (v &^ careMask) | forceBits. Stem forces overwrite a
+// gate's output word; pin forces overwrite one fanin word during that
+// gate's evaluation only (the fanout-branch semantics).
+//
+// The lanes parameter of Add is what generalizes the table across the
+// two word layouts the simulator supports: RunWithFaults forces every
+// lane of a 64-pattern word (one faulty machine, 64 patterns), while
+// the tester's chip-parallel lot engine forces one lane per chip (64
+// machines, one pattern) — up to 63 multi-fault chips plus the good
+// machine in lane 0, sharing one table per batch.
+//
+// Adding the same site twice with overlapping lanes keeps the *last*
+// value on the overlap, matching how a physical short list is applied
+// in order. Reset clears the table in O(1) via an epoch bump; the
+// per-gate arrays are allocated once and reused, which is what replaces
+// the three per-call maps RunWithFaults used to build. A LaneForces is
+// not safe for concurrent use.
+type LaneForces struct {
+	c     *netlist.Circuit
+	epoch int
+	mark  []int // per gate: the epoch this gate's entries belong to
+	// stemCare/stemForce are the output-stem masks; stemCare == 0 means
+	// no stem fault on the gate this epoch.
+	stemCare  []uint64
+	stemForce []uint64
+	// pins holds the per-input-pin masks of each gate, truncated to
+	// zero length when the gate is first touched in a new epoch.
+	pins [][]pinLane
+}
+
+// pinLane is one forced input pin of a gate.
+type pinLane struct {
+	pin         int
+	care, force uint64
+}
+
+// NewLaneForces allocates a forcing table sized for the circuit.
+func NewLaneForces(c *netlist.Circuit) *LaneForces {
+	n := len(c.Gates)
+	return &LaneForces{
+		c:         c,
+		epoch:     1,
+		mark:      make([]int, n),
+		stemCare:  make([]uint64, n),
+		stemForce: make([]uint64, n),
+		pins:      make([][]pinLane, n),
+	}
+}
+
+// Reset empties the table for reuse. O(1): stale entries are ignored by
+// the epoch marks and overwritten on the next Add.
+func (lf *LaneForces) Reset() { lf.epoch++ }
+
+// Add forces the fault onto the given lanes (a bitmask of the word's
+// bit-lanes carrying a machine that has this fault). On lanes already
+// forced at the same site, the new stuck value wins.
+func (lf *LaneForces) Add(f Injection, lanes uint64) error {
+	if f.Gate < 0 || f.Gate >= len(lf.c.Gates) {
+		return fmt.Errorf("logicsim: fault site %d out of range", f.Gate)
+	}
+	if lf.mark[f.Gate] != lf.epoch {
+		lf.mark[f.Gate] = lf.epoch
+		lf.stemCare[f.Gate] = 0
+		lf.stemForce[f.Gate] = 0
+		lf.pins[f.Gate] = lf.pins[f.Gate][:0]
+	}
+	var force uint64
+	if f.Stuck {
+		force = lanes
+	}
+	if f.Pin < 0 {
+		lf.stemCare[f.Gate] |= lanes
+		lf.stemForce[f.Gate] = lf.stemForce[f.Gate]&^lanes | force
+		return nil
+	}
+	if f.Pin >= len(lf.c.Gates[f.Gate].Fanin) {
+		return fmt.Errorf("logicsim: gate %d has no pin %d", f.Gate, f.Pin)
+	}
+	for i := range lf.pins[f.Gate] {
+		if pl := &lf.pins[f.Gate][i]; pl.pin == f.Pin {
+			pl.care |= lanes
+			pl.force = pl.force&^lanes | force
+			return nil
+		}
+	}
+	lf.pins[f.Gate] = append(lf.pins[f.Gate], pinLane{pin: f.Pin, care: lanes, force: force})
+	return nil
+}
+
 // RunWithFaults simulates the block with *all* the given faults present
 // simultaneously — the multiple-fault machine a physically defective
 // chip actually is. The paper's model treats the chip's defects as
 // equivalent to n single stuck faults; the tester substrate uses this
 // to exercise that assumption honestly rather than assuming single
-// faults.
+// faults. The forcing table is array-indexed scratch owned by the
+// simulator, so repeated calls allocate nothing.
 func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uint64, error) {
 	if len(block.Inputs) != len(s.c.Inputs) {
 		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
 	}
-	// Index the injections.
-	stem := make(map[int]uint64, len(faults)) // gate -> forced word
-	hasStem := make(map[int]bool, len(faults))
-	pinForce := make(map[int]map[int]uint64) // gate -> pin -> forced word
+	if s.forces == nil {
+		s.forces = NewLaneForces(s.c)
+	}
+	s.forces.Reset()
 	for _, f := range faults {
-		if f.Gate < 0 || f.Gate >= len(s.c.Gates) {
-			return nil, fmt.Errorf("logicsim: fault site %d out of range", f.Gate)
-		}
-		var w uint64
-		if f.Stuck {
-			w = ^uint64(0)
-		}
-		if f.Pin < 0 {
-			stem[f.Gate] = w
-			hasStem[f.Gate] = true
-		} else {
-			if f.Pin >= len(s.c.Gates[f.Gate].Fanin) {
-				return nil, fmt.Errorf("logicsim: gate %d has no pin %d", f.Gate, f.Pin)
-			}
-			m, ok := pinForce[f.Gate]
-			if !ok {
-				m = make(map[int]uint64)
-				pinForce[f.Gate] = m
-			}
-			m[f.Pin] = w
+		// The fault is present in every pattern of the block: force all
+		// 64 pattern-lanes.
+		if err := s.forces.Add(f, ^uint64(0)); err != nil {
+			return nil, err
 		}
 	}
 	for i, id := range s.c.Inputs {
-		v := block.Inputs[i]
-		if hasStem[id] {
-			v = stem[id]
-		}
-		s.val[id] = v
+		s.val[id] = s.forces.forceWord(id, block.Inputs[i])
 	}
-	for _, id := range s.order {
-		g := &s.c.Gates[id]
-		if g.Type == netlist.Input {
-			continue
-		}
-		var v uint64
-		if forces, ok := pinForce[id]; ok {
-			v = evalWithForcedPins(g.Type, g.Fanin, s.val, forces)
-		} else {
-			v = eval(g.Type, g.Fanin, s.val)
-		}
-		if hasStem[id] {
-			v = stem[id]
-		}
-		s.val[id] = v
-	}
+	s.runForced(s.forces)
 	out := make([]uint64, len(s.c.Outputs))
 	for i, id := range s.c.Outputs {
 		out[i] = s.val[id]
@@ -83,47 +141,127 @@ func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uin
 	return out, nil
 }
 
-// evalWithForcedPins evaluates a gate with several fanin words forced.
-func evalWithForcedPins(t netlist.GateType, fanin []int, val []uint64, forces map[int]uint64) uint64 {
-	get := func(i int) uint64 {
-		if w, ok := forces[i]; ok {
-			return w
-		}
-		return val[fanin[i]]
+// RunLaneForced evaluates pattern p of the block across 64 machine
+// lanes in one circuit walk: every lane sees the same input bits
+// (broadcast from bit p of each packed input word), and each forced
+// site applies its lane masks as v = (v &^ care) | force. Lanes whose
+// machines carry no fault — lane 0 by the tester's convention —
+// compute the good circuit. Output words are appended to out (reused
+// when capacity allows) in primary-output order.
+//
+// This is the chip-parallel lot engine's inner loop: one walk per
+// pattern evaluates the good machine plus up to 63 defective chips.
+func (s *Simulator) RunLaneForced(block PatternBlock, p int, forces *LaneForces, out []uint64) ([]uint64, error) {
+	if len(block.Inputs) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
 	}
-	switch t {
-	case netlist.Buf:
-		return get(0)
-	case netlist.Not:
-		return ^get(0)
-	case netlist.And, netlist.Nand:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v &= get(i)
+	if p < 0 || p >= block.Count {
+		return nil, fmt.Errorf("logicsim: pattern %d outside block of %d", p, block.Count)
+	}
+	if forces.c != s.c {
+		return nil, fmt.Errorf("logicsim: forcing table built for a different circuit")
+	}
+	for i, id := range s.c.Inputs {
+		// Broadcast bit p across all 64 lanes, then force.
+		s.val[id] = forces.forceWord(id, -(block.Inputs[i]>>uint(p)&1))
+	}
+	s.runForced(forces)
+	out = out[:0]
+	for _, id := range s.c.Outputs {
+		out = append(out, s.val[id])
+	}
+	return out, nil
+}
+
+// forceWord applies the gate's stem masks to a value word, if any.
+func (lf *LaneForces) forceWord(id int, v uint64) uint64 {
+	if lf.mark[id] == lf.epoch {
+		if care := lf.stemCare[id]; care != 0 {
+			v = v&^care | lf.stemForce[id]
 		}
-		if t == netlist.Nand {
-			return ^v
+	}
+	return v
+}
+
+// runForced is the shared forced-evaluation walk: inputs are already
+// loaded (and stem-forced) in s.val; every other gate evaluates with
+// its pin forces staged and its stem force overwriting the result.
+func (s *Simulator) runForced(lf *LaneForces) {
+	for _, id := range s.order {
+		g := &s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
 		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v |= get(i)
+		var v uint64
+		if lf.mark[id] == lf.epoch {
+			if pins := lf.pins[id]; len(pins) > 0 {
+				v = evalWithLanePins(g.Type, g.Fanin, s.val, pins)
+			} else {
+				v = eval(g.Type, g.Fanin, s.val)
+			}
+			if care := lf.stemCare[id]; care != 0 {
+				v = v&^care | lf.stemForce[id]
+			}
+		} else {
+			v = eval(g.Type, g.Fanin, s.val)
 		}
-		if t == netlist.Nor {
-			return ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := get(0)
-		for i := 1; i < len(fanin); i++ {
-			v ^= get(i)
-		}
-		if t == netlist.Xnor {
-			return ^v
-		}
-		return v
-	default:
-		panic(fmt.Sprintf("logicsim: cannot evaluate gate type %v", t))
+		s.val[id] = v
 	}
 }
+
+// evalWithLanePins evaluates a gate with some fanin words lane-forced.
+// In a chip-parallel batch most of the circuit carries forces, so this
+// runs for a large fraction of gates per walk: the ubiquitous 1- and
+// 2-input shapes are evaluated inline, and only wider gates pay the
+// staged EvalWords path.
+func evalWithLanePins(t netlist.GateType, fanin []int, val []uint64, pins []pinLane) uint64 {
+	switch len(fanin) {
+	case 1:
+		w := val[fanin[0]]
+		for _, pl := range pins {
+			w = w&^pl.care | pl.force
+		}
+		switch t {
+		case netlist.Buf, netlist.And, netlist.Or, netlist.Xor:
+			return w
+		case netlist.Not, netlist.Nand, netlist.Nor, netlist.Xnor:
+			return ^w
+		}
+	case 2:
+		a, b := val[fanin[0]], val[fanin[1]]
+		for _, pl := range pins {
+			if pl.pin == 0 {
+				a = a&^pl.care | pl.force
+			} else {
+				b = b&^pl.care | pl.force
+			}
+		}
+		switch t {
+		case netlist.And:
+			return a & b
+		case netlist.Nand:
+			return ^(a & b)
+		case netlist.Or:
+			return a | b
+		case netlist.Nor:
+			return ^(a | b)
+		case netlist.Xor:
+			return a ^ b
+		case netlist.Xnor:
+			return ^(a ^ b)
+		}
+	}
+	var stage [8]uint64
+	words := stage[:0]
+	if len(fanin) > len(stage) {
+		words = make([]uint64, 0, len(fanin))
+	}
+	for _, f := range fanin {
+		words = append(words, val[f])
+	}
+	for _, pl := range pins {
+		words[pl.pin] = words[pl.pin]&^pl.care | pl.force
+	}
+	return EvalWords(t, words)
+}
+

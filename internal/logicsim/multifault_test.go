@@ -130,3 +130,149 @@ func TestRunWithFaultsInputStem(t *testing.T) {
 		t.Error("input stem fault wrong")
 	}
 }
+
+func TestRunLaneForcedMatchesPerMachineRunWithFaults(t *testing.T) {
+	// Lane l of one RunLaneForced walk must equal bit p of a separate
+	// RunWithFaults pass over that lane's fault set — the chip-parallel
+	// transpose identity the tester's lot engine is built on.
+	c, err := netlist.RandomCircuit("r", 9, 90, 7, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	patterns := make([]Pattern, 17)
+	for i := range patterns {
+		p := make(Pattern, len(c.Inputs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		patterns[i] = p
+	}
+	block, err := PackPatterns(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 machines in lanes 1..12, each with 1..5 random faults; lane 0
+	// stays good.
+	machines := make([][]Injection, 12)
+	lf := NewLaneForces(c)
+	for m := range machines {
+		k := 1 + rng.Intn(5)
+		for j := 0; j < k; j++ {
+			gate := rng.Intn(len(c.Gates))
+			pin := -1
+			if n := len(c.Gates[gate].Fanin); n > 0 && rng.Intn(2) == 1 {
+				pin = rng.Intn(n)
+			}
+			machines[m] = append(machines[m], Injection{Gate: gate, Pin: pin, Stuck: rng.Intn(2) == 1})
+		}
+		for _, f := range machines[m] {
+			if err := lf.Add(f, 1<<uint(m+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	good, err := sim.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodCopy := append([]uint64(nil), good...)
+	want := make([][]uint64, len(machines))
+	for m := range machines {
+		out, err := sim.RunWithFaults(block, machines[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[m] = append([]uint64(nil), out...)
+	}
+	var out []uint64
+	for p := 0; p < block.Count; p++ {
+		out, err = sim.RunLaneForced(block, p, lf, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range out {
+			if got := out[o] & 1; got != goodCopy[o]>>uint(p)&1 {
+				t.Fatalf("pattern %d output %d: lane 0 bit %d, good machine bit %d",
+					p, o, got, goodCopy[o]>>uint(p)&1)
+			}
+			for m := range machines {
+				got := out[o] >> uint(m+1) & 1
+				if got != want[m][o]>>uint(p)&1 {
+					t.Fatalf("pattern %d output %d machine %d: lane bit %d, RunWithFaults bit %d",
+						p, o, m, got, want[m][o]>>uint(p)&1)
+				}
+			}
+		}
+	}
+}
+
+func TestLaneForcesLastValueWins(t *testing.T) {
+	// Adding both polarities of one site to the same lane keeps the
+	// last — the same order-dependent overwrite RunWithFaults applies to
+	// a chip's fault list.
+	c := netlist.C17()
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g22, _ := c.GateByName("22")
+	block, _ := PackPatterns([]Pattern{make(Pattern, 5)})
+	lf := NewLaneForces(c)
+	if err := lf.Add(Injection{Gate: g22, Pin: -1, Stuck: false}, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.Add(Injection{Gate: g22, Pin: -1, Stuck: true}, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunLaneForced(block, 0, lf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]>>1&1 != 1 {
+		t.Error("second add (stuck-at-1) should win the lane")
+	}
+	// And the multi-fault path agrees on the same double-injection.
+	multi, err := sim.RunWithFaults(block, []Injection{
+		{Gate: g22, Pin: -1, Stuck: false},
+		{Gate: g22, Pin: -1, Stuck: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi[0]&1 != 1 {
+		t.Error("RunWithFaults should keep the last polarity too")
+	}
+}
+
+func TestRunLaneForcedErrors(t *testing.T) {
+	c := netlist.C17()
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := NewLaneForces(c)
+	if err := lf.Add(Injection{Gate: 999, Pin: -1}, 1); err == nil {
+		t.Error("bad gate should error")
+	}
+	if err := lf.Add(Injection{Gate: 10, Pin: 9}, 1); err == nil {
+		t.Error("bad pin should error")
+	}
+	block, _ := PackPatterns([]Pattern{make(Pattern, 5)})
+	if _, err := sim.RunLaneForced(block, 5, lf, nil); err == nil {
+		t.Error("pattern outside block should error")
+	}
+	other, _ := netlist.RippleAdder(2)
+	otherLf := NewLaneForces(other)
+	if _, err := sim.RunLaneForced(block, 0, otherLf, nil); err == nil {
+		t.Error("foreign forcing table should error")
+	}
+	short := PatternBlock{Inputs: []uint64{0}, Count: 1}
+	if _, err := sim.RunLaneForced(short, 0, lf, nil); err == nil {
+		t.Error("wrong width should error")
+	}
+}

@@ -70,6 +70,10 @@ type Config struct {
 	Physical       bool
 	Engine         faultsim.Engine
 	SimWorkers     int
+	// LotEngine selects the ATE's lot-testing engine for every
+	// replicate (chip-parallel by default, tester.Serial as the
+	// opt-out oracle); the aggregates are bit-identical either way.
+	LotEngine tester.LotEngine
 }
 
 // DefaultConfig returns the paper-matched single-cell sweep: the
@@ -99,6 +103,7 @@ func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
 		Physical:       c.Physical,
 		Engine:         c.Engine,
 		SimWorkers:     c.SimWorkers,
+		LotEngine:      c.LotEngine,
 	}
 }
 
@@ -106,12 +111,24 @@ func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
 // Every grid cell must form a valid experiment.Table1Config, and every
 // circuit spec must expand (a typo fails here, not mid-campaign).
 func (c Config) Validate() error {
-	if len(c.Circuits) == 0 {
-		return fmt.Errorf("sweep: need at least one circuit spec")
-	}
-	if _, err := circuits.ExpandAll(c.Circuits); err != nil {
+	if _, err := c.expandUnits(); err != nil {
 		return err
 	}
+	return c.validateGrid()
+}
+
+// expandUnits expands the circuit axis to unit specs.
+func (c Config) expandUnits() ([]string, error) {
+	if len(c.Circuits) == 0 {
+		return nil, fmt.Errorf("sweep: need at least one circuit spec")
+	}
+	return circuits.ExpandAll(c.Circuits)
+}
+
+// validateGrid is Validate minus the spec expansion, so New — which
+// needs the expanded unit list anyway — expands exactly once and runs
+// the campaign over the same units it validated.
+func (c Config) validateGrid() error {
 	if len(c.Yields) == 0 {
 		return fmt.Errorf("sweep: need at least one yield")
 	}
@@ -219,13 +236,14 @@ type Sweeper struct {
 // through the artifact cache (ATPG + coverage ramp), and resolves every
 // coverage target to a strobe cut on each circuit's own ramp.
 // Unreachable targets are an error naming the circuit, not a silent
-// skip.
+// skip. The campaign runs over exactly the unit list that was
+// validated — specs are expanded once, not re-read.
 func New(cfg Config) (*Sweeper, error) {
-	if err := cfg.Validate(); err != nil {
+	units, err := cfg.expandUnits()
+	if err != nil {
 		return nil, err
 	}
-	units, err := circuits.ExpandAll(cfg.Circuits)
-	if err != nil {
+	if err := cfg.validateGrid(); err != nil {
 		return nil, err
 	}
 	cache := cfg.Cache
@@ -236,17 +254,34 @@ func New(cfg Config) (*Sweeper, error) {
 	// and its PrepareParams is the preparation key every workload of
 	// this sweep shares.
 	t1 := cfg.table1(cfg.Yields[0], cfg.N0s[0], cfg.LotSizes[0])
+	// Cold preparations are the expensive once-per-circuit work (ATPG +
+	// coverage ramp); the cache serializes same-key builds and lets
+	// distinct keys build in parallel, so fan the campaign's workloads
+	// out instead of paying N sequential preps at startup. The first
+	// error by unit index wins, keeping failures deterministic.
+	preps := make([]*circuits.Prepared, len(units))
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	for i, unit := range units {
+		wg.Add(1)
+		go func(i int, unit string) {
+			defer wg.Done()
+			preps[i], errs[i] = cache.Get(unit, t1.PrepareParams())
+		}(i, unit)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Sweeper{cfg: cfg, workloads: make([]workload, len(units))}
 	for i, unit := range units {
-		prep, err := cache.Get(unit, t1.PrepareParams())
+		lr, err := experiment.NewLotRunnerFrom(preps[i], t1)
 		if err != nil {
 			return nil, err
 		}
-		lr, err := experiment.NewLotRunnerFrom(prep, t1)
-		if err != nil {
-			return nil, err
-		}
-		cuts, err := resolveCuts(prep, cfg.Coverages)
+		cuts, err := resolveCuts(preps[i], cfg.Coverages)
 		if err != nil {
 			return nil, err
 		}

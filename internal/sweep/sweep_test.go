@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/tester"
 )
 
 // smallConfig is the fixed-seed two-circuit grid the golden and
@@ -78,6 +80,33 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(results[0].Workloads, results[1].Workloads) {
 		t.Error("workload info differs between worker counts")
+	}
+}
+
+func TestSweepDeterministicAcrossLotEngines(t *testing.T) {
+	// The lot engine is a speed knob, never a results knob: the CSV must
+	// be byte-identical across every (lot engine, worker count) pair —
+	// the chip-parallel engine against the serial oracle, under both
+	// serial and concurrent scheduling.
+	var csvs []string
+	var labels []string
+	for _, e := range tester.LotEngines() {
+		for _, workers := range []int{1, 8} {
+			cfg := smallConfig(t)
+			cfg.LotEngine = e
+			cfg.Workers = workers
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csvs = append(csvs, res.CSV())
+			labels = append(labels, fmt.Sprintf("%v/workers=%d", e, workers))
+		}
+	}
+	for i := 1; i < len(csvs); i++ {
+		if csvs[i] != csvs[0] {
+			t.Errorf("CSV differs between %s and %s:\n%s\nvs\n%s", labels[0], labels[i], csvs[0], csvs[i])
+		}
 	}
 }
 

@@ -1,0 +1,212 @@
+package tester
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"repro/internal/defect"
+	"repro/internal/logicsim"
+)
+
+// The chip-parallel lot engine transposes the ATE's word layout: where
+// the serial oracle packs 64 patterns into a word and walks the circuit
+// once per (chip, block), chip-parallel packs the good machine (lane 0)
+// plus up to 63 defective chips (lanes 1..63) into one word and walks
+// the circuit once per pattern for the whole batch. Each chip's faults
+// are forced onto its lane through a shared logicsim.LaneForces table —
+// v = (v &^ careMask) | forceBits per fault site — generalizing the
+// fault simulator's fault-parallel engine to multi-fault lanes.
+//
+// First-fail extraction is exact at either granularity: at pattern p
+// the lane word of each primary output is diffed against the broadcast
+// of lane 0 (the good machine computed in the same walk), outputs in
+// strobe order, so the first differing (pattern, output) pair per lane
+// is the same strobe the serial oracle reports. A lane is dropped the
+// moment its chip fails, and a batch exits as soon as every lane has
+// failed.
+//
+// Scheduling is what makes the lanes earn their keep: patterns are
+// processed in growing chunks (8, 16, 32, then 64), and after each
+// chunk the survivors of *all* batches are re-packed into fresh full
+// batches for the next chunk. Most defective chips fail within the
+// first few patterns, so without re-packing a batch would idle 60+ dead
+// lanes while its slowest chip (or an escape) walks the rest of the
+// program; with it, the number of batches shrinks with the survivor
+// count round after round. Within a round, surviving chips are ordered
+// by their lowest fault-universe index — chips with overlapping fault
+// sites fail at correlated times, so neighbours tend to die in the same
+// chunk and lanes stay packed. The ordering affects only scheduling,
+// never results.
+
+const (
+	// ppLanes is the number of chip lanes per batch (lane 0 is the good
+	// machine).
+	ppLanes = 63
+	// ppChunkStart/ppChunkMax bound the growing pattern-chunk schedule:
+	// small early chunks keep dead-lane waste low while the lot is
+	// failing fast, and the cap keeps late rounds from re-packing
+	// needlessly once only stragglers remain.
+	ppChunkStart = 8
+	ppChunkMax   = 64
+)
+
+// chipParallelState is the engine's per-ATE scratch, allocated once and
+// reused across lots.
+type chipParallelState struct {
+	forces     *logicsim.LaneForces
+	out        []uint64
+	work, next []ppItem
+}
+
+// ppItem is one defective chip awaiting testing: its lot index and its
+// batching key (lowest fault-universe index).
+type ppItem struct {
+	chip, key int
+}
+
+// chipParallelFirstFail computes the per-chip first-fail record of the
+// lot — pattern indices, or strobe steps when steps is true —
+// bit-identical to serialFirstFail.
+func (a *ATE) chipParallelFirstFail(lot defect.Lot, universe []logicsim.Injection, steps bool) ([]int, error) {
+	if a.pp == nil {
+		a.pp = &chipParallelState{forces: logicsim.NewLaneForces(a.c)}
+	}
+	st := a.pp
+	ff := make([]int, len(lot.Chips))
+	work := st.work[:0]
+	for i, chip := range lot.Chips {
+		ff[i] = NeverFails
+		if !chip.Defective() {
+			continue
+		}
+		key := chip.Faults[0]
+		for _, fi := range chip.Faults {
+			if fi < 0 || fi >= len(universe) {
+				return nil, fmt.Errorf("tester: chip fault index %d out of universe", fi)
+			}
+			if fi < key {
+				key = fi
+			}
+		}
+		work = append(work, ppItem{chip: i, key: key})
+	}
+	// Batch by fault-site overlap: equal-key chips keep lot order (the
+	// chip index breaks ties), so the schedule — and everything else —
+	// is deterministic.
+	slices.SortFunc(work, func(x, y ppItem) int {
+		if x.key != y.key {
+			return x.key - y.key
+		}
+		return x.chip - y.chip
+	})
+	spare := st.next[:0]
+	base, chunk := 0, ppChunkStart
+	for len(work) > 0 && base < len(a.patterns) {
+		end := base + chunk
+		if end > len(a.patterns) {
+			end = len(a.patterns)
+		}
+		next := spare[:0]
+		for lo := 0; lo < len(work); lo += ppLanes {
+			hi := lo + ppLanes
+			if hi > len(work) {
+				hi = len(work)
+			}
+			var err error
+			next, err = a.ppBatch(lot, universe, work[lo:hi], base, end, steps, ff, next)
+			if err != nil {
+				return nil, err
+			}
+		}
+		work, spare = next, work
+		base = end
+		if chunk < ppChunkMax {
+			chunk *= 2
+		}
+	}
+	st.work, st.next = work, spare
+	return ff, nil
+}
+
+// ppBatch walks patterns [base, end) for one batch of up to 63 chips,
+// recording first fails and appending the survivors to next.
+func (a *ATE) ppBatch(lot defect.Lot, universe []logicsim.Injection, batch []ppItem,
+	base, end int, steps bool, ff []int, next []ppItem) ([]ppItem, error) {
+	lf := a.pp.forces
+	// build (re)fills the forcing table with the faults of the lanes
+	// still alive. A dense table is what makes a lane walk expensive —
+	// 63 multi-fault chips mark most of the circuit as forced sites — so
+	// once enough lanes have died the table is rebuilt without them and
+	// the walk cost tracks the survivor count instead of the batch size.
+	build := func(lanes uint64) error {
+		lf.Reset()
+		for i, it := range batch {
+			lane := uint64(1) << uint(i+1)
+			if lanes&lane == 0 {
+				continue
+			}
+			for _, fi := range lot.Chips[it.chip].Faults {
+				if err := lf.Add(universe[fi], lane); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	alive := (uint64(1)<<uint(len(batch)+1) - 1) &^ 1 // chip lanes 1..len(batch)
+	if err := build(alive); err != nil {
+		return nil, err
+	}
+	built := len(batch)
+	nOut := len(a.c.Outputs)
+	out := a.pp.out
+	for p := base; p < end && alive != 0; p++ {
+		var err error
+		out, err = a.sim.RunLaneForced(a.blocks[p/64], p%64, lf, out)
+		if err != nil {
+			return nil, err
+		}
+		if steps {
+			// Outputs in strobe order: the first diff per lane is its
+			// first failing strobe, exactly as the serial oracle sees it.
+			for o := 0; o < nOut; o++ {
+				d := (out[o] ^ -(out[o] & 1)) & alive
+				for d != 0 {
+					lane := bits.TrailingZeros64(d)
+					d &^= 1 << uint(lane)
+					alive &^= 1 << uint(lane)
+					ff[batch[lane-1].chip] = p*nOut + o
+				}
+			}
+		} else {
+			var d uint64
+			for o := 0; o < nOut; o++ {
+				d |= out[o] ^ -(out[o] & 1)
+			}
+			d &= alive
+			for d != 0 {
+				lane := bits.TrailingZeros64(d)
+				d &^= 1 << uint(lane)
+				alive &^= 1 << uint(lane)
+				ff[batch[lane-1].chip] = p
+			}
+		}
+		// Prune the table once three quarters of the lanes it was built
+		// for have failed; dead lanes' forces only slow the walk down,
+		// but rebuilding too eagerly costs more in Adds than it saves.
+		if n := bits.OnesCount64(alive); n > 0 && n*4 <= built && p+1 < end {
+			if err := build(alive); err != nil {
+				return nil, err
+			}
+			built = n
+		}
+	}
+	a.pp.out = out
+	for lane := 1; lane <= len(batch); lane++ {
+		if alive>>uint(lane)&1 == 1 {
+			next = append(next, batch[lane-1])
+		}
+	}
+	return next, nil
+}

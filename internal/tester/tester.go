@@ -5,14 +5,22 @@
 // per-chip first-fail indices, joined with the fault simulator's
 // cumulative-coverage ramp, give the fallout curve from which n0 is
 // estimated.
+//
+// Two lot engines share one result contract (identical FirstFail, bit
+// for bit): Serial tests one chip at a time — the oracle — and
+// ChipParallel, the default, packs the good machine plus up to 63
+// defective chips into the 64 bit-lanes of one word and evaluates them
+// in a single circuit walk per pattern (see chipparallel.go).
 package tester
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/defect"
+	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
@@ -21,6 +29,60 @@ import (
 // NeverFails marks a chip that passes the whole pattern set.
 const NeverFails = -1
 
+// LotEngine selects how TestLot/TestLotSteps walk a lot. Both engines
+// produce bit-identical results; they differ only in speed.
+type LotEngine int
+
+// Available lot engines. ChipParallel is the zero value on purpose: an
+// unconfigured engine field selects the fast path, and Serial stays
+// around as the per-chip oracle the equivalence tests pin it to.
+const (
+	ChipParallel LotEngine = iota
+	Serial
+)
+
+// lotEngineNames maps each engine to its CLI-stable name.
+var lotEngineNames = map[LotEngine]string{
+	ChipParallel: "chip-parallel",
+	Serial:       "serial",
+}
+
+// String names the lot engine.
+func (e LotEngine) String() string {
+	if n, ok := lotEngineNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("LotEngine(%d)", int(e))
+}
+
+// Known reports whether e is a registered lot engine, letting
+// configuration layers fail fast instead of erroring mid-lot.
+func (e LotEngine) Known() bool {
+	_, ok := lotEngineNames[e]
+	return ok
+}
+
+// ParseLotEngine maps an engine name (as printed by String and accepted
+// by the CLIs) back to the LotEngine.
+func ParseLotEngine(name string) (LotEngine, error) {
+	for _, e := range LotEngines() {
+		if lotEngineNames[e] == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("tester: unknown lot engine %q", name)
+}
+
+// LotEngines lists every registered lot engine in a stable order.
+func LotEngines() []LotEngine {
+	out := make([]LotEngine, 0, len(lotEngineNames))
+	for e := range lotEngineNames {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ATE tests chips against a fixed circuit and ordered pattern set.
 type ATE struct {
 	c        *netlist.Circuit
@@ -28,18 +90,37 @@ type ATE struct {
 	blocks   []logicsim.PatternBlock
 	good     [][]uint64 // good-machine outputs per block
 	sim      *logicsim.Simulator
+	engine   LotEngine
+
+	// Universe→Injection conversion cache: campaigns share one fault
+	// universe across thousands of lots, so the conversion is keyed by
+	// slice identity and done once per ATE (see injectionsFor).
+	univKey *fault.Fault
+	univLen int
+	univInj []logicsim.Injection
+
+	pp *chipParallelState // lazily built chip-parallel scratch
 }
 
-// New builds an ATE, pre-simulating the good machine once.
+// New builds an ATE with the default (chip-parallel) lot engine,
+// pre-simulating the good machine once.
 func New(c *netlist.Circuit, patterns []logicsim.Pattern) (*ATE, error) {
+	return NewEngine(c, patterns, ChipParallel)
+}
+
+// NewEngine is New with an explicit lot engine.
+func NewEngine(c *netlist.Circuit, patterns []logicsim.Pattern, engine LotEngine) (*ATE, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("tester: no patterns")
+	}
+	if !engine.Known() {
+		return nil, fmt.Errorf("tester: unknown lot engine %v", engine)
 	}
 	sim, err := logicsim.NewSimulator(c)
 	if err != nil {
 		return nil, err
 	}
-	a := &ATE{c: c, patterns: patterns, sim: sim}
+	a := &ATE{c: c, patterns: patterns, sim: sim, engine: engine}
 	for base := 0; base < len(patterns); base += 64 {
 		end := base + 64
 		if end > len(patterns) {
@@ -58,6 +139,13 @@ func New(c *netlist.Circuit, patterns []logicsim.Pattern) (*ATE, error) {
 	}
 	return a, nil
 }
+
+// Engine returns the lot engine TestLot/TestLotSteps dispatch to.
+func (a *ATE) Engine() LotEngine { return a.engine }
+
+// SetEngine switches the lot engine. Results are unaffected — the
+// engines are bit-identical — so this is purely a speed/oracle knob.
+func (a *ATE) SetEngine(e LotEngine) { a.engine = e }
 
 // Patterns returns the number of patterns the ATE applies.
 func (a *ATE) Patterns() int { return len(a.patterns) }
@@ -138,10 +226,33 @@ func (a *ATE) injections(chip defect.Chip, universe []logicsim.Injection) ([]log
 	return inj, nil
 }
 
+// injectionsFor converts a lot's fault universe to injectable form,
+// cached by slice identity: campaigns share one universe (from a
+// circuits.Prepared) across thousands of lots, so per-lot reconversion
+// was pure waste. A different universe (or a same-length reallocation)
+// misses and reconverts.
+func (a *ATE) injectionsFor(universe []fault.Fault) []logicsim.Injection {
+	if len(universe) == 0 {
+		return nil
+	}
+	if a.univKey == &universe[0] && a.univLen == len(universe) {
+		return a.univInj
+	}
+	inj := make([]logicsim.Injection, len(universe))
+	for i, f := range universe {
+		inj[i] = logicsim.Injection{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}
+	}
+	a.univKey, a.univLen, a.univInj = &universe[0], len(universe), inj
+	return inj
+}
+
 // LotResult is the record the paper's experiment produces.
 type LotResult struct {
 	// FirstFail[i] is chip i's first failing pattern, or NeverFails.
 	FirstFail []int
+	// Passed counts chips that passed every pattern — the exact integer
+	// the yields are derived from.
+	Passed int
 	// TestedYield is the fraction of chips that passed every pattern
 	// (what the line actually ships before field returns).
 	TestedYield float64
@@ -155,30 +266,37 @@ type LotResult struct {
 // TestLot tests every chip and aggregates the lot statistics at
 // pattern granularity.
 func (a *ATE) TestLot(lot defect.Lot) (LotResult, error) {
-	return a.testLot(lot, (*ATE).TestChip)
+	return a.testLot(lot, false)
 }
 
 // TestLotSteps is TestLot at strobe granularity: FirstFail holds step
 // indices (pattern*numOutputs + output).
 func (a *ATE) TestLotSteps(lot defect.Lot) (LotResult, error) {
-	return a.testLot(lot, (*ATE).TestChipSteps)
+	return a.testLot(lot, true)
 }
 
-func (a *ATE) testLot(lot defect.Lot, test func(*ATE, defect.Chip, []logicsim.Injection) (int, error)) (LotResult, error) {
-	universe := make([]logicsim.Injection, len(lot.Universe))
-	for i, f := range lot.Universe {
-		universe[i] = logicsim.Injection{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}
+// testLot runs the configured lot engine and folds the per-chip
+// first-fail record into the lot statistics.
+func (a *ATE) testLot(lot defect.Lot, steps bool) (LotResult, error) {
+	universe := a.injectionsFor(lot.Universe)
+	var ff []int
+	var err error
+	switch a.engine {
+	case Serial:
+		ff, err = a.serialFirstFail(lot, universe, steps)
+	case ChipParallel:
+		ff, err = a.chipParallelFirstFail(lot, universe, steps)
+	default:
+		err = fmt.Errorf("tester: unknown lot engine %v", a.engine)
 	}
-	res := LotResult{FirstFail: make([]int, len(lot.Chips))}
-	passed, trueGood := 0, 0
+	if err != nil {
+		return LotResult{}, err
+	}
+	res := LotResult{FirstFail: ff}
+	trueGood := 0
 	for i, chip := range lot.Chips {
-		ff, err := test(a, chip, universe)
-		if err != nil {
-			return LotResult{}, err
-		}
-		res.FirstFail[i] = ff
-		if ff == NeverFails {
-			passed++
+		if ff[i] == NeverFails {
+			res.Passed++
 			if chip.Defective() {
 				res.Escapes++
 			}
@@ -188,9 +306,27 @@ func (a *ATE) testLot(lot defect.Lot, test func(*ATE, defect.Chip, []logicsim.In
 		}
 	}
 	n := float64(len(lot.Chips))
-	res.TestedYield = float64(passed) / n
+	res.TestedYield = float64(res.Passed) / n
 	res.TrueYield = float64(trueGood) / n
 	return res, nil
+}
+
+// serialFirstFail is the oracle engine: one chip at a time through
+// TestChip/TestChipSteps.
+func (a *ATE) serialFirstFail(lot defect.Lot, universe []logicsim.Injection, steps bool) ([]int, error) {
+	test := (*ATE).TestChip
+	if steps {
+		test = (*ATE).TestChipSteps
+	}
+	ff := make([]int, len(lot.Chips))
+	for i, chip := range lot.Chips {
+		f, err := test(a, chip, universe)
+		if err != nil {
+			return nil, err
+		}
+		ff[i] = f
+	}
+	return ff, nil
 }
 
 // FalloutRow is one line of the paper's Table 1.
@@ -229,17 +365,26 @@ func FalloutTable(res LotResult, curve []faultsim.CoveragePoint, checkpoints []i
 	return rows, nil
 }
 
-// FirstFailCoverages converts first-fail pattern indices to first-fail
+// FirstFailCoverages converts first-fail indices to first-fail
 // *coverages* using the ramp; chips that never fail map to NaN. This is
-// the input format the estimate package's bootstrap consumes.
-func FirstFailCoverages(res LotResult, curve []faultsim.CoveragePoint) []float64 {
+// the input format the estimate package's bootstrap consumes. The
+// result and the curve must share one granularity: a TestLotSteps
+// result pairs with the strobe-granular ramp (pattern × output, e.g.
+// faultsim.StepCoverageCurve), a TestLot result with the
+// pattern-granular one. A first-fail index outside the curve is a
+// granularity mismatch and returns an error instead of panicking.
+func FirstFailCoverages(res LotResult, curve []faultsim.CoveragePoint) ([]float64, error) {
 	out := make([]float64, len(res.FirstFail))
 	for i, ff := range res.FirstFail {
 		if ff == NeverFails {
 			out[i] = math.NaN()
-		} else {
-			out[i] = curve[ff].Coverage
+			continue
 		}
+		if ff < 0 || ff >= len(curve) {
+			return nil, fmt.Errorf("tester: first-fail index %d outside the %d-point curve (granularity mismatch?)",
+				ff, len(curve))
+		}
+		out[i] = curve[ff].Coverage
 	}
-	return out
+	return out, nil
 }

@@ -215,12 +215,28 @@ func TestFalloutTableErrors(t *testing.T) {
 func TestFirstFailCoverages(t *testing.T) {
 	res := LotResult{FirstFail: []int{1, NeverFails}}
 	curve := []faultsim.CoveragePoint{{Coverage: 0.1}, {Coverage: 0.3}}
-	out := FirstFailCoverages(res, curve)
+	out, err := FirstFailCoverages(res, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0] != 0.3 {
 		t.Errorf("coverage %v", out[0])
 	}
 	if !math.IsNaN(out[1]) {
 		t.Error("never-fail should be NaN")
+	}
+}
+
+func TestFirstFailCoveragesGranularityMismatch(t *testing.T) {
+	// A strobe-granular first-fail record against a pattern-granular
+	// curve used to index out of bounds and panic; it must error.
+	res := LotResult{FirstFail: []int{7}}
+	curve := []faultsim.CoveragePoint{{Coverage: 0.1}, {Coverage: 0.3}}
+	if _, err := FirstFailCoverages(res, curve); err == nil {
+		t.Error("out-of-curve first-fail index should error")
+	}
+	if _, err := FirstFailCoverages(LotResult{FirstFail: []int{-3}}, curve); err == nil {
+		t.Error("negative non-sentinel index should error")
 	}
 }
 
