@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke cover bench race sweep-smoke
+.PHONY: verify build vet test smoke cover bench bench-json golden race sweep-smoke
 
 # Tier-1 verification plus vet: what CI runs.
 verify: build vet test smoke
@@ -31,12 +31,29 @@ cover:
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
+# Persisted engine-matrix benchmark: runs the two engine suites and
+# writes chips/s and fault-patterns/s per engine×circuit to
+# BENCH_PR6.json (schema documented in cmd/benchjson). CI archives the
+# file as a build artifact, so the BENCH trajectory is no longer
+# ephemeral terminal scrollback.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkLotEngines' -benchtime 40x . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
+
+# Golden guard: the paper-number fixtures (sweep CSV, dist sample
+# sequences) must stay byte-identical across engine ports. CI fails the
+# build if an engine drifts them.
+golden:
+	$(GO) test -run 'Golden' ./internal/sweep/ ./internal/dist/
+
 # Race-detect the concurrent layers: the artifact cache, the sweep
-# worker pool, the lot experiment it drives, and the ATE substrate the
-# workers clone over one shared circuit (-short skips the multi-second
-# Monte-Carlo run).
+# worker pool, the lot experiment it drives, the ATE substrate the
+# workers clone over one shared circuit, and the flat/wide-lane core
+# those engines walk (-short skips the multi-second Monte-Carlo run).
 race:
-	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/ ./internal/tester/
+	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/ \
+		./internal/tester/ ./internal/logicsim/ ./internal/faultsim/
 
 # Tiny end-to-end Monte-Carlo grid through the real CLI over a
 # two-circuit campaign: seconds, not minutes, yet it exercises the

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON benchmark artifact CI archives (BENCH_PR6.json). It understands
+// the two engine-matrix suites:
+//
+//	BenchmarkEngines/<engine>/<circuit>-P     ... ns/op ... ns/fault-pattern
+//	BenchmarkLotEngines/<engine>/<circuit>-P  ... ns/op ... chips/s
+//
+// and emits one row per benchmark line:
+//
+//	{
+//	  "schema": "bench/v1",
+//	  "rows": [
+//	    {
+//	      "suite": "engines",             // "engines" | "lot-engines"
+//	      "engine": "pf256",              // registry name, e.g. serial, ppsfp, pf, pf256
+//	      "circuit": "mul8",              // workload name
+//	      "iterations": 30,               // benchmark iteration count
+//	      "ns_per_op": 1885999,           // one op = one full run over the workload
+//	      "ns_per_fault_pattern": 5.54,   // engines suite only
+//	      "fault_patterns_per_sec": 1.8e8,// 1e9 / ns_per_fault_pattern
+//	      "chips_per_sec": 1342801        // lot-engines suite only
+//	    }, ...
+//	  ]
+//	}
+//
+// Rows keep input order (the registries' stable engine order). Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkEngines|BenchmarkLotEngines' . | benchjson > BENCH_PR6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Row is one engine×circuit measurement. Zero-valued metrics are
+// omitted: engines rows have no chips/s, lot-engines rows have no
+// fault-pattern metrics.
+type Row struct {
+	Suite               string  `json:"suite"`
+	Engine              string  `json:"engine"`
+	Circuit             string  `json:"circuit"`
+	Iterations          int     `json:"iterations"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	NsPerFaultPattern   float64 `json:"ns_per_fault_pattern,omitempty"`
+	FaultPatternsPerSec float64 `json:"fault_patterns_per_sec,omitempty"`
+	ChipsPerSec         float64 `json:"chips_per_sec,omitempty"`
+}
+
+// Report is the artifact's top level; Schema names the layout so later
+// PRs can evolve it without breaking downstream readers.
+type Report struct {
+	Schema string `json:"schema"`
+	Rows   []Row  `json:"rows"`
+}
+
+// suites maps the benchmark function prefix to the suite tag.
+var suites = map[string]string{
+	"BenchmarkEngines":    "engines",
+	"BenchmarkLotEngines": "lot-engines",
+}
+
+func main() {
+	report := Report{Schema: "bench/v1"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if row, ok := parseLine(sc.Text()); ok {
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts a Row from one `go test -bench` result line, or
+// reports false for headers, headlines, and unrelated benchmarks.
+func parseLine(line string) (Row, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Row{}, false
+	}
+	// Name: BenchmarkEngines/<engine>/<circuit>-P. Engines may contain
+	// '-' (ppsfp-full, chip-parallel), so only the final -P is trimmed.
+	parts := strings.Split(fields[0], "/")
+	if len(parts) != 3 {
+		return Row{}, false
+	}
+	suite, ok := suites[parts[0]]
+	if !ok {
+		return Row{}, false
+	}
+	circuit := parts[2]
+	if i := strings.LastIndex(circuit, "-"); i > 0 {
+		circuit = circuit[:i]
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Row{}, false
+	}
+	row := Row{Suite: suite, Engine: parts[1], Circuit: circuit, Iterations: iters}
+	// Remaining fields are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Row{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			row.NsPerOp = v
+		case "ns/fault-pattern":
+			row.NsPerFaultPattern = v
+			if v > 0 {
+				row.FaultPatternsPerSec = 1e9 / v
+			}
+		case "chips/s":
+			row.ChipsPerSec = v
+		}
+	}
+	return row, true
+}

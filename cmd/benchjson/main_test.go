@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	row, ok := parseLine("BenchmarkEngines/pf256/mul8-4 \t 30\t   1885999 ns/op\t         5.547 ns/fault-pattern")
+	if !ok {
+		t.Fatal("engines line rejected")
+	}
+	if row.Suite != "engines" || row.Engine != "pf256" || row.Circuit != "mul8" {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Iterations != 30 || row.NsPerOp != 1885999 || row.NsPerFaultPattern != 5.547 {
+		t.Errorf("metrics = %+v", row)
+	}
+	if want := 1e9 / 5.547; row.FaultPatternsPerSec != want {
+		t.Errorf("fault-patterns/s = %g, want %g", row.FaultPatternsPerSec, want)
+	}
+
+	// Engine names containing '-' must survive the -P trim.
+	row, ok = parseLine("BenchmarkLotEngines/chip-parallel/cmp16-8 \t 5\t 517391 ns/op\t 3865855 chips/s")
+	if !ok || row.Engine != "chip-parallel" || row.Circuit != "cmp16" {
+		t.Errorf("lot row = %+v ok=%v", row, ok)
+	}
+	if row.Suite != "lot-engines" || row.ChipsPerSec != 3865855 {
+		t.Errorf("lot metrics = %+v", row)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"=== reproduction headlines ===",
+		"BenchmarkFig1-4 \t 1 \t 123 ns/op",                 // wrong suite
+		"BenchmarkEngines/pf256/mul8-4 \t x \t 123 ns/op",   // bad iteration count
+		"BenchmarkEngines/pf256/mul8-4 \t 30 \t junk ns/op", // bad value
+		"PASS",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line accepted: %q", line)
+		}
+	}
+}

@@ -27,7 +27,7 @@ func main() {
 	listCircuits := flag.Bool("list-circuits", false, "print the workload spec grammar and exit")
 	npat := flag.Int("patterns", 64, "number of random patterns")
 	seed := flag.Int64("seed", 1, "pattern seed")
-	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive, pf, concurrent")
+	engine := flag.String("engine", "ppsfp", "engine: serial, ppsfp, deductive, pf, concurrent, pf256")
 	workers := flag.Int("workers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
 	full := flag.Bool("full", false, "disable cone restriction (full-circuit reference path)")
 	lfsr := flag.Bool("lfsr", false, "use an LFSR instead of uniform random patterns")

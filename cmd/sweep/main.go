@@ -37,10 +37,10 @@ func main() {
 	seed := flag.Int64("seed", 1981, "base seed; per-replicate seeds are derived deterministically")
 	random := flag.Int("random", 192, "random patterns before PODEM cleanup")
 	physical := flag.Bool("physical", false, "generate lots through the physical-defect layer")
-	engineName := flag.String("engine", "ppsfp", "fault-simulation engine: serial, ppsfp, deductive, pf, concurrent")
+	engineName := flag.String("engine", "ppsfp", "fault-simulation engine: serial, ppsfp, deductive, pf, concurrent, pf256")
 	simWorkers := flag.Int("simworkers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
 	lotEngineName := flag.String("lotengine", tester.ChipParallel.String(),
-		"ATE lot engine: chip-parallel or serial (bit-identical results)")
+		"ATE lot engine: chip-parallel, chipparallel256, or serial (bit-identical results)")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
 	flag.Parse()

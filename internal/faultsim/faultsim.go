@@ -1,5 +1,5 @@
 // Package faultsim measures which single-stuck-at faults a test-pattern
-// sequence detects. Five engines share one result contract (identical
+// sequence detects. Six engines share one result contract (identical
 // FirstDetect, bit for bit) and one set of plumbing — block packing,
 // fault dropping, first-detect bookkeeping — and differ only in how
 // they spend the machine word:
@@ -15,7 +15,10 @@
 //   - FaultParallel (PF): the good machine plus up to 63 faulty
 //     machines packed into the 64 bit-lanes of one word per pattern,
 //     evaluated over the union of the faults' output cones;
-//   - Concurrent: cone-restricted PPSFP sharded over a goroutine pool.
+//   - Concurrent: cone-restricted PPSFP sharded over a goroutine pool;
+//   - FaultParallel256 (pf256): the PF layout widened to 4-word lane
+//     blocks (good machine + 255 faulty machines) over the flat
+//     struct-of-arrays core (logicsim.Flat/WideSim).
 //
 // The paper's experiment needs the cumulative coverage curve of an
 // ordered pattern set — CoverageCurve produces exactly the "fault
@@ -73,6 +76,7 @@ const (
 	Deductive
 	FaultParallel
 	Concurrent
+	FaultParallel256
 )
 
 // strategy is one entry of the engine registry: the CLI-stable name
@@ -87,11 +91,12 @@ type strategy struct {
 // bookkeeping with dropping), so adding an engine is one entry here
 // plus a run function.
 var registry = map[Engine]strategy{
-	Serial:        {"serial", func(s *session) error { return s.runParallelPattern(false, false) }},
-	PPSFP:         {"ppsfp", func(s *session) error { return s.runParallelPattern(true, !s.opt.FullCircuit) }},
-	Deductive:     {"deductive", runDeductive},
-	FaultParallel: {"pf", runFaultParallel},
-	Concurrent:    {"concurrent", runConcurrent},
+	Serial:           {"serial", func(s *session) error { return s.runParallelPattern(false, false) }},
+	PPSFP:            {"ppsfp", func(s *session) error { return s.runParallelPattern(true, !s.opt.FullCircuit) }},
+	Deductive:        {"deductive", runDeductive},
+	FaultParallel:    {"pf", runFaultParallel},
+	Concurrent:       {"concurrent", runConcurrent},
+	FaultParallel256: {"pf256", runFaultParallel256},
 }
 
 // String names the engine.

@@ -110,16 +110,20 @@ func (p *outPair) Swap(a, b int) {
 // and caching it on the circuit (the cache is dropped automatically on
 // mutation). Callers that fault-simulate the same circuit many times —
 // ATPG fault-dropping loops, coverage ramps, benchmark reruns — pay
-// for construction once.
+// for construction once. Safe for concurrent callers on a levelized
+// circuit (see cacheMu), but must not race with mutation.
 func ConeSetFor(c *netlist.Circuit) (*ConeSet, error) {
-	if cs, ok := c.SimCache().(*ConeSet); ok {
-		return cs, nil
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	sc := cachesFor(c)
+	if sc.cones != nil {
+		return sc.cones, nil
 	}
 	cs, err := NewConeSet(c)
 	if err != nil {
 		return nil, err
 	}
-	c.SetSimCache(cs)
+	sc.cones = cs
 	return cs, nil
 }
 

@@ -50,12 +50,29 @@ func PackPatterns(patterns []Pattern) (PatternBlock, error) {
 	return PatternBlock{Inputs: words, Count: len(patterns)}, nil
 }
 
-// Mask returns the valid-pattern mask of the block.
+// Mask returns the valid-pattern mask of the block. Count is assumed
+// valid (1..64, as PackPatterns produces); the Run entry points reject
+// anything else before Mask is consulted, because a negative Count
+// would shift-wrap into an all-ones mask and silently treat 64 garbage
+// lanes as real patterns.
 func (b PatternBlock) Mask() uint64 {
 	if b.Count >= 64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << uint(b.Count)) - 1
+}
+
+// validate rejects a block whose shape cannot have come from
+// PackPatterns: wrong input count, or a Count outside 1..64 (the
+// zero-value PatternBlock being the classic way to hit it).
+func (b PatternBlock) validate(nIn int) error {
+	if len(b.Inputs) != nIn {
+		return fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(b.Inputs), nIn)
+	}
+	if b.Count < 1 || b.Count > 64 {
+		return fmt.Errorf("logicsim: block Count %d outside 1..64 (zero-value PatternBlock?)", b.Count)
+	}
+	return nil
 }
 
 // Simulator evaluates a circuit 64 patterns at a time. It owns a value
@@ -70,11 +87,20 @@ type Simulator struct {
 	forces *LaneForces // scratch forcing table for RunWithFaults
 }
 
-// NewSimulator prepares a simulator for the circuit, levelizing it.
+// NewSimulator prepares a simulator for the circuit, levelizing it. A
+// zero-fanin logic gate is rejected here with its name — the eval hot
+// loops index fanin[0] unconditionally, so a malformed netlist must
+// fail at load, not panic mid-walk.
 func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
 	order, err := c.Order()
 	if err != nil {
 		return nil, err
+	}
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Type != netlist.Input && len(g.Fanin) == 0 {
+			return nil, fmt.Errorf("logicsim: gate %q (%v) has no fanin and is not a primary input", g.Name, g.Type)
+		}
 	}
 	return &Simulator{c: c, order: order, val: make([]uint64, len(c.Gates))}, nil
 }
@@ -166,10 +192,17 @@ func eval(t netlist.GateType, fanin []int, val []uint64) uint64 {
 
 // Run simulates the block and returns the output words (one per
 // primary output, in output order). The returned slice is freshly
-// allocated.
+// allocated; hot paths use RunInto to reuse a caller buffer.
 func (s *Simulator) Run(block PatternBlock) ([]uint64, error) {
-	if len(block.Inputs) != len(s.c.Inputs) {
-		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	return s.RunInto(block, nil)
+}
+
+// RunInto is Run appending the output words to out (reusing its
+// capacity): with a pre-sized buffer the steady state allocates
+// nothing.
+func (s *Simulator) RunInto(block PatternBlock, out []uint64) ([]uint64, error) {
+	if err := block.validate(len(s.c.Inputs)); err != nil {
+		return nil, err
 	}
 	s.mask = block.Mask()
 	for i, id := range s.c.Inputs {
@@ -182,9 +215,9 @@ func (s *Simulator) Run(block PatternBlock) ([]uint64, error) {
 		}
 		s.val[id] = eval(g.Type, g.Fanin, s.val)
 	}
-	out := make([]uint64, len(s.c.Outputs))
-	for i, id := range s.c.Outputs {
-		out[i] = s.val[id]
+	out = out[:0]
+	for _, id := range s.c.Outputs {
+		out = append(out, s.val[id])
 	}
 	return out, nil
 }
@@ -194,8 +227,14 @@ func (s *Simulator) Run(block PatternBlock) ([]uint64, error) {
 // otherwise the fault is on input pin `pin` of gate `site` (a fanout-
 // branch fault affecting only that receiver). stuck is the stuck value.
 func (s *Simulator) RunWithFault(block PatternBlock, site, pin int, stuck bool) ([]uint64, error) {
-	if len(block.Inputs) != len(s.c.Inputs) {
-		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	return s.RunWithFaultInto(block, site, pin, stuck, nil)
+}
+
+// RunWithFaultInto is RunWithFault appending the output words to out
+// (reusing its capacity).
+func (s *Simulator) RunWithFaultInto(block PatternBlock, site, pin int, stuck bool, out []uint64) ([]uint64, error) {
+	if err := block.validate(len(s.c.Inputs)); err != nil {
+		return nil, err
 	}
 	if site < 0 || site >= len(s.c.Gates) {
 		return nil, fmt.Errorf("logicsim: fault site %d out of range", site)
@@ -230,9 +269,9 @@ func (s *Simulator) RunWithFault(block PatternBlock, site, pin int, stuck bool) 
 		}
 		s.val[id] = v
 	}
-	out := make([]uint64, len(s.c.Outputs))
-	for i, id := range s.c.Outputs {
-		out[i] = s.val[id]
+	out = out[:0]
+	for _, id := range s.c.Outputs {
+		out = append(out, s.val[id])
 	}
 	return out, nil
 }

@@ -116,8 +116,15 @@ func (lf *LaneForces) Add(f Injection, lanes uint64) error {
 // faults. The forcing table is array-indexed scratch owned by the
 // simulator, so repeated calls allocate nothing.
 func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uint64, error) {
-	if len(block.Inputs) != len(s.c.Inputs) {
-		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	return s.RunWithFaultsInto(block, faults, nil)
+}
+
+// RunWithFaultsInto is RunWithFaults appending the output words to out
+// (reusing its capacity), the allocation-free variant the ATE's serial
+// oracle loops on.
+func (s *Simulator) RunWithFaultsInto(block PatternBlock, faults []Injection, out []uint64) ([]uint64, error) {
+	if err := block.validate(len(s.c.Inputs)); err != nil {
+		return nil, err
 	}
 	if s.forces == nil {
 		s.forces = NewLaneForces(s.c)
@@ -134,9 +141,9 @@ func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uin
 		s.val[id] = s.forces.forceWord(id, block.Inputs[i])
 	}
 	s.runForced(s.forces)
-	out := make([]uint64, len(s.c.Outputs))
-	for i, id := range s.c.Outputs {
-		out[i] = s.val[id]
+	out = out[:0]
+	for _, id := range s.c.Outputs {
+		out = append(out, s.val[id])
 	}
 	return out, nil
 }
@@ -152,8 +159,8 @@ func (s *Simulator) RunWithFaults(block PatternBlock, faults []Injection) ([]uin
 // This is the chip-parallel lot engine's inner loop: one walk per
 // pattern evaluates the good machine plus up to 63 defective chips.
 func (s *Simulator) RunLaneForced(block PatternBlock, p int, forces *LaneForces, out []uint64) ([]uint64, error) {
-	if len(block.Inputs) != len(s.c.Inputs) {
-		return nil, fmt.Errorf("logicsim: block has %d inputs, circuit %d", len(block.Inputs), len(s.c.Inputs))
+	if err := block.validate(len(s.c.Inputs)); err != nil {
+		return nil, err
 	}
 	if p < 0 || p >= block.Count {
 		return nil, fmt.Errorf("logicsim: pattern %d outside block of %d", p, block.Count)
@@ -163,7 +170,7 @@ func (s *Simulator) RunLaneForced(block PatternBlock, p int, forces *LaneForces,
 	}
 	for i, id := range s.c.Inputs {
 		// Broadcast bit p across all 64 lanes, then force.
-		s.val[id] = forces.forceWord(id, -(block.Inputs[i]>>uint(p)&1))
+		s.val[id] = forces.forceWord(id, -(block.Inputs[i] >> uint(p) & 1))
 	}
 	s.runForced(forces)
 	out = out[:0]
@@ -264,4 +271,3 @@ func evalWithLanePins(t netlist.GateType, fanin []int, val []uint64, pins []pinL
 	}
 	return EvalWords(t, words)
 }
-

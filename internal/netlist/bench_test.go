@@ -47,6 +47,7 @@ func TestParseBenchErrors(t *testing.T) {
 		"INPUT()\n",                                 // empty name
 		"INPUT(a)\nINPUT(a)\nz = NOT(a)\nOUTPUT(z)", // duplicate
 		"INPUT(a)\nz = NOT(a,)\nOUTPUT(z)\n",        // empty fanin
+		"INPUT(a)\nz = AND()\nOUTPUT(z)\n",          // zero-fanin gate
 		"INPUT(a\n",                                 // malformed decl
 		"INPUT(a) pad 4)\nz = NOT(a)\nOUTPUT(z)\n",  // trailing junk on decl
 		"INPUT(a))\nz = NOT(a)\nOUTPUT(z)\n",        // doubled close paren

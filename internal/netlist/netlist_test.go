@@ -45,6 +45,32 @@ func TestAddGateErrors(t *testing.T) {
 	if _, err := c.AddGate("g", And, "a", "zzz"); err == nil {
 		t.Error("undefined fanin should error")
 	}
+	if _, err := c.AddGate("g", And); err == nil {
+		t.Error("AND with zero fanin should error")
+	}
+}
+
+func TestValidateRejectsZeroFaninGate(t *testing.T) {
+	// AddGate blocks zero-fanin logic gates up front, so the only way to
+	// make one is direct struct surgery (a buggy generator or loader);
+	// Validate must still catch it and name the gate, because the
+	// simulators' hot loops index fanin[0] unconditionally.
+	c := New("t")
+	if _, err := c.AddGate("a", Input); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.AddGate("orphan", Not, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkOutput("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	c.Gates[id].Fanin = nil
+	err = c.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"orphan"`) {
+		t.Errorf("want named-gate zero-fanin error, got %v", err)
+	}
 }
 
 func TestMarkOutputErrors(t *testing.T) {

@@ -1,0 +1,211 @@
+package tester
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"repro/internal/defect"
+	"repro/internal/logicsim"
+)
+
+// The chipparallel256 lot engine is the chip-parallel engine widened
+// onto the flat struct-of-arrays core: the good machine (lane 0) plus
+// up to 255 defective chips ride the 256 bit-lanes of a 4-word lane
+// block, and one flat walk per pattern (logicsim.WideSim.RunLaneForced)
+// evaluates the whole batch. Scheduling is identical to chip-parallel —
+// growing pattern chunks with cross-batch survivor re-packing, ordered
+// by lowest fault-universe index, and force-table pruning once three
+// quarters of a batch's lanes have died — just with 4x the lanes per
+// walk and the flat core's cheaper per-gate step. First-fail extraction
+// is exact at both granularities, bit-identical to the serial oracle.
+
+const (
+	// pp256Words is the lane-block width: 4 words = 256 lanes.
+	pp256Words = 4
+	// pp256Lanes is the number of chip lanes per batch (lane 0 is the
+	// good machine).
+	pp256Lanes = 64*pp256Words - 1
+)
+
+// chipParallel256State is the engine's per-ATE scratch, allocated once
+// and reused across lots.
+type chipParallel256State struct {
+	sim        *logicsim.WideSim
+	forces     *logicsim.WideLaneForces
+	out        []uint64
+	work, next []ppItem
+}
+
+// chipParallel256FirstFail computes the per-chip first-fail record of
+// the lot — pattern indices, or strobe steps when steps is true —
+// bit-identical to serialFirstFail.
+func (a *ATE) chipParallel256FirstFail(lot defect.Lot, universe []logicsim.Injection, steps bool) ([]int, error) {
+	if a.pp256 == nil {
+		flat, err := logicsim.FlatFor(a.c)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := logicsim.NewWideSim(flat, pp256Words)
+		if err != nil {
+			return nil, err
+		}
+		forces, err := logicsim.NewWideLaneForces(flat, pp256Words)
+		if err != nil {
+			return nil, err
+		}
+		a.pp256 = &chipParallel256State{sim: sim, forces: forces}
+	}
+	st := a.pp256
+	ff := make([]int, len(lot.Chips))
+	work := st.work[:0]
+	for i, chip := range lot.Chips {
+		ff[i] = NeverFails
+		if !chip.Defective() {
+			continue
+		}
+		key := chip.Faults[0]
+		for _, fi := range chip.Faults {
+			if fi < 0 || fi >= len(universe) {
+				return nil, fmt.Errorf("tester: chip fault index %d out of universe", fi)
+			}
+			if fi < key {
+				key = fi
+			}
+		}
+		work = append(work, ppItem{chip: i, key: key})
+	}
+	slices.SortFunc(work, func(x, y ppItem) int {
+		if x.key != y.key {
+			return x.key - y.key
+		}
+		return x.chip - y.chip
+	})
+	spare := st.next[:0]
+	base, chunk := 0, ppChunkStart
+	for len(work) > 0 && base < len(a.patterns) {
+		end := base + chunk
+		if end > len(a.patterns) {
+			end = len(a.patterns)
+		}
+		next := spare[:0]
+		for lo := 0; lo < len(work); lo += pp256Lanes {
+			hi := lo + pp256Lanes
+			if hi > len(work) {
+				hi = len(work)
+			}
+			var err error
+			next, err = a.pp256Batch(lot, universe, work[lo:hi], base, end, steps, ff, next)
+			if err != nil {
+				return nil, err
+			}
+		}
+		work, spare = next, work
+		base = end
+		if chunk < ppChunkMax {
+			chunk *= 2
+		}
+	}
+	st.work, st.next = work, spare
+	return ff, nil
+}
+
+// pp256Batch walks patterns [base, end) for one batch of up to 255
+// chips, recording first fails and appending the survivors to next.
+func (a *ATE) pp256Batch(lot defect.Lot, universe []logicsim.Injection, batch []ppItem,
+	base, end int, steps bool, ff []int, next []ppItem) ([]ppItem, error) {
+	st := a.pp256
+	lf := st.forces
+	// build (re)fills the forcing table with the faults of the lanes
+	// still alive, so the walk cost tracks the survivor count once the
+	// 3/4-dead pruning threshold fires (same policy as chip-parallel).
+	build := func(alive *[pp256Words]uint64) error {
+		lf.Reset()
+		for i := range batch {
+			lane := i + 1
+			if alive[lane>>6]>>uint(lane&63)&1 == 0 {
+				continue
+			}
+			for _, fi := range lot.Chips[batch[i].chip].Faults {
+				if err := lf.Add(universe[fi], lane); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// alive covers chip lanes 1..len(batch).
+	var alive [pp256Words]uint64
+	nLanes := len(batch) + 1
+	for k := 0; k < pp256Words; k++ {
+		lo := k * 64
+		switch {
+		case nLanes >= lo+64:
+			alive[k] = ^uint64(0)
+		case nLanes > lo:
+			alive[k] = (uint64(1) << uint(nLanes-lo)) - 1
+		}
+	}
+	alive[0] &^= 1 // lane 0 is the good machine
+	if err := build(&alive); err != nil {
+		return nil, err
+	}
+	built := len(batch)
+	liveCount := func() int {
+		n := 0
+		for k := 0; k < pp256Words; k++ {
+			n += bits.OnesCount64(alive[k])
+		}
+		return n
+	}
+	nOut := len(a.c.Outputs)
+	out := st.out
+	for p := base; p < end && liveCount() != 0; p++ {
+		var err error
+		out, err = st.sim.RunLaneForced(a.blocks[p/64], p%64, lf, out)
+		if err != nil {
+			return nil, err
+		}
+		for o := 0; o < nOut; o++ {
+			ob := out[o*pp256Words : (o+1)*pp256Words]
+			gb := -(ob[0] & 1) // broadcast the good machine (lane 0)
+			anyDiff := false
+			for k := 0; k < pp256Words; k++ {
+				if (ob[k]^gb)&alive[k] != 0 {
+					anyDiff = true
+					break
+				}
+			}
+			if !anyDiff {
+				continue
+			}
+			for k := 0; k < pp256Words; k++ {
+				d := (ob[k] ^ gb) & alive[k]
+				for d != 0 {
+					bit := bits.TrailingZeros64(d)
+					d &^= uint64(1) << uint(bit)
+					alive[k] &^= uint64(1) << uint(bit)
+					lane := k*64 + bit
+					if steps {
+						ff[batch[lane-1].chip] = p*nOut + o
+					} else {
+						ff[batch[lane-1].chip] = p
+					}
+				}
+			}
+		}
+		if n := liveCount(); n > 0 && n*4 <= built && p+1 < end {
+			if err := build(&alive); err != nil {
+				return nil, err
+			}
+			built = n
+		}
+	}
+	st.out = out
+	for lane := 1; lane <= len(batch); lane++ {
+		if alive[lane>>6]>>uint(lane&63)&1 == 1 {
+			next = append(next, batch[lane-1])
+		}
+	}
+	return next, nil
+}

@@ -36,9 +36,11 @@ func TestParseLotEngine(t *testing.T) {
 }
 
 // TestLotEngineEquivalenceProperty is the randomized cross-engine pin:
-// over random circuits, lots, and seeds, ChipParallel must reproduce
-// the Serial oracle's per-chip first-fail indices bit for bit, at both
-// pattern and strobe granularity, along with every derived statistic.
+// over random circuits, lots, and seeds, every registered lot engine
+// must reproduce the Serial oracle's per-chip first-fail indices bit
+// for bit, at both pattern and strobe granularity, along with every
+// derived statistic. The loop iterates LotEngines(), so a new registry
+// entry is pinned automatically.
 func TestLotEngineEquivalenceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1981))
 	trials := 6
@@ -69,10 +71,6 @@ func TestLotEngineEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := NewEngine(c, patterns, ChipParallel)
-		if err != nil {
-			t.Fatal(err)
-		}
 		for _, steps := range []bool{false, true} {
 			run := (*ATE).TestLot
 			if steps {
@@ -82,13 +80,22 @@ func TestLotEngineEquivalenceProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := run(par, lot)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(want, got) {
-				t.Fatalf("trial %d steps=%v: engines disagree\nserial: %+v\nchip-parallel: %+v",
-					trial, steps, want, got)
+			for _, e := range LotEngines() {
+				if e == Serial {
+					continue
+				}
+				par, err := NewEngine(c, patterns, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := run(par, lot)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d steps=%v: engines disagree\nserial: %+v\n%v: %+v",
+						trial, steps, want, e, got)
+				}
 			}
 		}
 	}
@@ -127,20 +134,25 @@ func TestLotEnginesAgreeOnDoublePolarityChips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := NewEngine(c, patterns, ChipParallel)
-	if err != nil {
-		t.Fatal(err)
-	}
 	want, err := serial.TestLotSteps(lot)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := par.TestLotSteps(lot)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(want, got) {
-		t.Errorf("double-polarity chips disagree: serial %+v, chip-parallel %+v", want, got)
+	for _, e := range LotEngines() {
+		if e == Serial {
+			continue
+		}
+		par, err := NewEngine(c, patterns, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.TestLotSteps(lot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("double-polarity chips disagree: serial %+v, %v %+v", want, e, got)
+		}
 	}
 }
 
@@ -226,8 +238,11 @@ func TestConcurrentATEsShareCircuit(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			e := ChipParallel
-			if w%2 == 1 {
+			switch w % 3 {
+			case 1:
 				e = Serial
+			case 2:
+				e = ChipParallel256
 			}
 			a, err := NewEngine(c, patterns, e)
 			if err != nil {

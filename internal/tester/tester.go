@@ -6,11 +6,14 @@
 // cumulative-coverage ramp, give the fallout curve from which n0 is
 // estimated.
 //
-// Two lot engines share one result contract (identical FirstFail, bit
-// for bit): Serial tests one chip at a time — the oracle — and
+// Three lot engines share one result contract (identical FirstFail, bit
+// for bit): Serial tests one chip at a time — the oracle —
 // ChipParallel, the default, packs the good machine plus up to 63
 // defective chips into the 64 bit-lanes of one word and evaluates them
-// in a single circuit walk per pattern (see chipparallel.go).
+// in a single circuit walk per pattern (see chipparallel.go), and
+// ChipParallel256 widens that layout to 4-word lane blocks (255 chips
+// per walk) over the flat struct-of-arrays core (see
+// chipparallel256.go).
 package tester
 
 import (
@@ -39,12 +42,14 @@ type LotEngine int
 const (
 	ChipParallel LotEngine = iota
 	Serial
+	ChipParallel256
 )
 
 // lotEngineNames maps each engine to its CLI-stable name.
 var lotEngineNames = map[LotEngine]string{
-	ChipParallel: "chip-parallel",
-	Serial:       "serial",
+	ChipParallel:    "chip-parallel",
+	Serial:          "serial",
+	ChipParallel256: "chipparallel256",
 }
 
 // String names the lot engine.
@@ -99,7 +104,9 @@ type ATE struct {
 	univLen int
 	univInj []logicsim.Injection
 
-	pp *chipParallelState // lazily built chip-parallel scratch
+	pp    *chipParallelState    // lazily built chip-parallel scratch
+	pp256 *chipParallel256State // lazily built chipparallel256 scratch
+	tcOut []uint64              // TestChip/TestChipSteps output scratch
 }
 
 // New builds an ATE with the default (chip-parallel) lot engine,
@@ -162,10 +169,11 @@ func (a *ATE) TestChip(chip defect.Chip, universe []logicsim.Injection) (int, er
 		return 0, err
 	}
 	for bi, block := range a.blocks {
-		bad, err := a.sim.RunWithFaults(block, inj)
+		bad, err := a.sim.RunWithFaultsInto(block, inj, a.tcOut)
 		if err != nil {
 			return 0, err
 		}
+		a.tcOut = bad
 		var diff uint64
 		for o := range bad {
 			diff |= (bad[o] ^ a.good[bi][o]) & block.Mask()
@@ -191,10 +199,11 @@ func (a *ATE) TestChipSteps(chip defect.Chip, universe []logicsim.Injection) (in
 	}
 	nOut := len(a.c.Outputs)
 	for bi, block := range a.blocks {
-		bad, err := a.sim.RunWithFaults(block, inj)
+		bad, err := a.sim.RunWithFaultsInto(block, inj, a.tcOut)
 		if err != nil {
 			return 0, err
 		}
+		a.tcOut = bad
 		best := -1
 		for o := range bad {
 			diff := (bad[o] ^ a.good[bi][o]) & block.Mask()
@@ -286,6 +295,8 @@ func (a *ATE) testLot(lot defect.Lot, steps bool) (LotResult, error) {
 		ff, err = a.serialFirstFail(lot, universe, steps)
 	case ChipParallel:
 		ff, err = a.chipParallelFirstFail(lot, universe, steps)
+	case ChipParallel256:
+		ff, err = a.chipParallel256FirstFail(lot, universe, steps)
 	default:
 		err = fmt.Errorf("tester: unknown lot engine %v", a.engine)
 	}
