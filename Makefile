@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke cover bench bench-json golden race sweep-smoke
+.PHONY: verify build vet test smoke cover bench bench-json golden race sweep-smoke sweepd-smoke
 
 # Tier-1 verification plus vet: what CI runs.
 verify: build vet test smoke
@@ -48,11 +48,14 @@ golden:
 	$(GO) test -run 'Golden' ./internal/sweep/ ./internal/dist/
 
 # Race-detect the concurrent layers: the artifact cache, the sweep
-# worker pool, the lot experiment it drives, the ATE substrate the
-# workers clone over one shared circuit, and the flat/wide-lane core
-# those engines walk (-short skips the multi-second Monte-Carlo run).
+# worker pool and its checkpoint/shard job engine, the campaign result
+# store those feed, the sweepd daemon handlers, the lot experiment
+# underneath, the ATE substrate the workers clone over one shared
+# circuit, and the flat/wide-lane core those engines walk (-short skips
+# the multi-second Monte-Carlo run).
 race:
-	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/experiment/ \
+	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/campaign/ \
+		./cmd/sweepd/ ./internal/experiment/ \
 		./internal/tester/ ./internal/logicsim/ ./internal/faultsim/
 
 # Tiny end-to-end Monte-Carlo grid through the real CLI over a
@@ -62,3 +65,10 @@ race:
 sweep-smoke:
 	$(GO) run ./cmd/sweep -circuits mul4,cmp8 -random 32 -yields 0.2 -n0s 3 \
 		-chips 80 -coverages 0.3,0.6 -replicates 4 -workers 2 -seed 7 -format table
+
+# Daemon crash/resume smoke: build the real sweepd binary, start it,
+# submit a two-circuit campaign, SIGKILL the process mid-run, restart it
+# on the same checkpoint directory, resubmit, and diff the final CSV
+# against an in-process run — byte-identical or the build fails.
+sweepd-smoke:
+	SWEEPD_E2E=1 $(GO) test -run TestE2ECrashResume -v ./cmd/sweepd/

@@ -8,6 +8,17 @@
 //	sweep -circuits mul4,cmp8,rand7 -format csv > sweep.csv
 //	sweep -circuits bench:circuits/ -format json -workers 8 -engine concurrent
 //	sweep -list-circuits
+//
+// Campaigns are durable and shardable. -checkpoint snapshots progress
+// atomically; -resume continues a killed run from its checkpoint with
+// byte-identical final output. -shard i/n runs only every n-th
+// replicate (writing a shard file via -checkpoint); -merge folds a
+// complete set of shard files into the same bytes a serial run
+// produces:
+//
+//	sweep -checkpoint run.ckpt -resume -format csv > sweep.csv
+//	sweep -shard 0/2 -checkpoint s0.shard & sweep -shard 1/2 -checkpoint s1.shard
+//	sweep -merge s0.shard,s1.shard -format csv > sweep.csv
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/circuits"
 	"repro/internal/experiment"
 	"repro/internal/faultsim"
@@ -43,21 +55,44 @@ func main() {
 		"ATE lot engine: chip-parallel, chipparallel256, or serial (bit-identical results)")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: campaign snapshots are written here atomically (shard output file with -shard)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists (a missing file is a fresh start)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N folded replicates (0: only at cell completions)")
+	shardSpec := flag.String("shard", "", "run only shard i/n of the campaign, e.g. 0/4; requires -checkpoint, output is a shard file")
+	mergeList := flag.String("merge", "", "comma-separated shard files to merge instead of running (all shards of one campaign)")
 	flag.Parse()
 
 	if *listCircuits {
 		fmt.Print(circuits.List())
 		return
 	}
+	job := jobFlags{
+		checkpoint:      *checkpoint,
+		resume:          *resume,
+		checkpointEvery: *checkpointEvery,
+		shard:           *shardSpec,
+		merge:           *mergeList,
+	}
 	if err := run(*circuitSpecs, *yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
-		*random, *physical, *engineName, *simWorkers, *lotEngineName, *format, *plot); err != nil {
+		*random, *physical, *engineName, *simWorkers, *lotEngineName, *format, *plot, job); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
+// jobFlags are the durability and distribution flags: checkpoint/resume
+// for crash recovery, shard/merge for multi-process campaigns.
+type jobFlags struct {
+	checkpoint      string
+	resume          bool
+	checkpointEvery int
+	shard           string
+	merge           string
+}
+
 func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers int, seed int64,
-	random int, physical bool, engineName string, simWorkers int, lotEngineName, format string, plot bool) error {
+	random int, physical bool, engineName string, simWorkers int, lotEngineName, format string, plot bool,
+	job jobFlags) error {
 	specs := splitList(circuitSpecs)
 	if len(specs) == 0 {
 		return fmt.Errorf("-circuits: need at least one workload spec")
@@ -110,8 +145,8 @@ func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	res, err := sweep.Run(cfg)
-	if err != nil {
+	res, err := execute(cfg, job)
+	if err != nil || res == nil {
 		return err
 	}
 	switch format {
@@ -130,6 +165,63 @@ func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers
 		}
 	}
 	return nil
+}
+
+// execute runs the campaign through the job engine: plain run,
+// checkpointed run, one shard of a partition, or a merge of finished
+// shard files — all producing the same bytes for the same config.
+func execute(cfg sweep.Config, job jobFlags) (*sweep.Result, error) {
+	if job.merge != "" && job.shard != "" {
+		return nil, fmt.Errorf("-merge and -shard are mutually exclusive")
+	}
+	if job.merge != "" {
+		paths := splitList(job.merge)
+		shards := make([]*campaign.ShardResult, len(paths))
+		for i, p := range paths {
+			sr, err := campaign.LoadShard(p)
+			if err != nil {
+				return nil, err
+			}
+			shards[i] = sr
+		}
+		sw, err := sweep.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sw.MergeShards(shards)
+	}
+	opts := sweep.RunOptions{
+		Checkpoint:      job.checkpoint,
+		Resume:          job.resume,
+		CheckpointEvery: job.checkpointEvery,
+	}
+	if job.shard != "" {
+		if job.checkpoint == "" {
+			return nil, fmt.Errorf("-shard requires -checkpoint (the shard output file)")
+		}
+		sh, err := campaign.ParseShard(job.shard)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := sweep.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := sw.RunShard(sh, opts)
+		if err != nil {
+			return nil, err
+		}
+		// The shard file IS the output; there is nothing to render
+		// until -merge folds the full set.
+		fmt.Fprintf(os.Stderr, "sweep: shard %s complete: %d replicate summaries in %s (merge with -merge)\n",
+			sh, len(sr.Summaries), job.checkpoint)
+		return nil, nil
+	}
+	sw, err := sweep.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sw.RunWith(opts)
 }
 
 // splitList splits a comma-separated list, dropping empty parts.

@@ -1,0 +1,83 @@
+// Command sweepd is the long-running campaign daemon: submit sweep
+// campaigns over HTTP, watch their confidence intervals tighten live,
+// and survive restarts — every campaign checkpoints into the daemon's
+// checkpoint directory under its config fingerprint, so resubmitting a
+// config after a crash or shutdown resumes it instead of starting over.
+//
+//	sweepd -addr :8322 -checkpoint-dir /var/lib/sweepd
+//	curl -d @campaign.json localhost:8322/campaigns
+//	curl localhost:8322/campaigns/c1                      # status
+//	curl localhost:8322/campaigns/c1/stream               # NDJSON live CIs
+//	curl localhost:8322/campaigns/c1/results?format=csv   # partial or final
+//
+// With -shard i/n the daemon computes only its slice of each campaign
+// (task%n == i); fetch /campaigns/{id}/shard from each daemon and merge
+// with sweep -merge for bytes identical to a single-process run.
+//
+// SIGINT/SIGTERM drain gracefully: running replicates finish, the
+// checkpoints are written, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	addr := flag.String("addr", ":8322", "HTTP listen address")
+	ckptDir := flag.String("checkpoint-dir", ".", "directory for campaign checkpoints (named by config fingerprint)")
+	shardSpec := flag.String("shard", "", "run only shard i/n of each campaign, e.g. 1/4 (empty: whole campaigns)")
+	ckptEvery := flag.Int("checkpoint-every", 20, "also checkpoint every N folded replicates (0: only at cell completions)")
+	flag.Parse()
+
+	sh := campaign.FullShard
+	if *shardSpec != "" {
+		var err error
+		if sh, err = campaign.ParseShard(*shardSpec); err != nil {
+			log.Fatalf("sweepd: %v", err)
+		}
+	}
+	if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
+
+	srv := newServer(*ckptDir, sh, *ckptEvery)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
+	// Printed (not logged) so scripts using -addr :0 can scrape the
+	// resolved port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("sweepd: %v: draining jobs and checkpointing", sig)
+		srv.beginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		log.Printf("sweepd: shutdown complete")
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sweepd: %v", err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file schema versions. A file whose schema string is not the
+// current one is rejected with ErrSchema — a future v2 reader can
+// branch on the string, a v1 reader must never silently misparse v2.
+const (
+	CheckpointSchema = "campaign-checkpoint/v1"
+	ShardSchema      = "campaign-shard/v1"
+)
+
+// Named error kinds for snapshot-file failures; callers match with
+// errors.Is. Every wrapped error names the offending file path.
+var (
+	// ErrCorrupt: unreadable, truncated, garbage, or checksum-failing
+	// snapshot files.
+	ErrCorrupt = errors.New("corrupt snapshot file")
+	// ErrSchema: a well-formed envelope carrying an unknown schema
+	// version.
+	ErrSchema = errors.New("unknown snapshot schema version")
+	// ErrMismatch: a valid snapshot that belongs to a different
+	// campaign (config fingerprint, shard, or grid shape differs).
+	ErrMismatch = errors.New("snapshot belongs to a different campaign")
+	// ErrShardOverlap / ErrShardMissing / ErrShardIncomplete: merge
+	// preconditions on a shard set.
+	ErrShardOverlap    = errors.New("overlapping shards")
+	ErrShardMissing    = errors.New("missing shard")
+	ErrShardIncomplete = errors.New("incomplete shard")
+)
+
+// Key identifies which campaign a snapshot belongs to: the caller's
+// config fingerprint (internal/sweep hashes every results-relevant
+// config field) plus the shard that produced it. Loading a snapshot
+// under a different key is ErrMismatch, never a silent resume.
+type Key struct {
+	ConfigHash string `json:"config_hash"`
+	Shard      Shard  `json:"shard"`
+}
+
+// Checkpoint is a full-campaign snapshot: the key plus every cell's
+// folded Welford state and completed-replicate watermark.
+type Checkpoint struct {
+	Key   Key            `json:"key"`
+	Cells []CellSnapshot `json:"cells"`
+}
+
+// envelope is the outer layer of every snapshot file: a schema version
+// string, a SHA-256 over the canonical (whitespace-compacted) body
+// bytes, and the body itself. Truncation, bit rot, and hand edits all
+// land in ErrCorrupt before any field of the body is believed.
+type envelope struct {
+	Schema string          `json:"schema"`
+	SHA256 string          `json:"sha256"`
+	Body   json.RawMessage `json:"body"`
+}
+
+func bodyChecksum(body []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// writeSnapshotFile marshals body into a checksummed envelope and
+// writes it atomically: the bytes go to a temp file in the target's
+// directory, are synced, and only then renamed over the target — a
+// crash mid-write leaves the previous checkpoint intact, never a
+// half-written file.
+func writeSnapshotFile(path, schema string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal snapshot for %s: %w", path, err)
+	}
+	sum, err := bodyChecksum(raw)
+	if err != nil {
+		return fmt.Errorf("campaign: checksum snapshot for %s: %w", path, err)
+	}
+	data, err := json.MarshalIndent(envelope{Schema: schema, SHA256: sum, Body: raw}, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal envelope for %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: write snapshot %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err2 := tmp.Close(); err == nil {
+		err = err2
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: write snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// readSnapshotFile opens, checksums, and version-checks a snapshot
+// file, returning the verified body bytes.
+func readSnapshotFile(path, wantSchema string) (json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read snapshot %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+	}
+	if env.Schema != wantSchema {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: got %q, want %q",
+			path, ErrSchema, env.Schema, wantSchema)
+	}
+	if len(env.Body) == 0 {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: empty body", path, ErrCorrupt)
+	}
+	sum, err := bodyChecksum(env.Body)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+	}
+	if sum != env.SHA256 {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: checksum mismatch", path, ErrCorrupt)
+	}
+	return env.Body, nil
+}
+
+// WriteCheckpoint atomically persists a campaign checkpoint.
+func WriteCheckpoint(path string, ck *Checkpoint) error {
+	return writeSnapshotFile(path, CheckpointSchema, ck)
+}
+
+// LoadCheckpoint reads, verifies, and shape-checks a checkpoint: the
+// checksum and schema version must hold, the key must equal the
+// caller's (a checkpoint written by a different grid config or shard is
+// ErrMismatch), and every cell snapshot must fit the given geometry.
+func LoadCheckpoint(path string, key Key, layout Layout, cuts int) (*Checkpoint, error) {
+	body, err := readSnapshotFile(path, CheckpointSchema)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(body, &ck); err != nil {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+	}
+	if ck.Key != key {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: checkpoint key %+v, campaign key %+v",
+			path, ErrMismatch, ck.Key, key)
+	}
+	if len(ck.Cells) != layout.Cells {
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: checkpoint has %d cells, campaign has %d",
+			path, ErrMismatch, len(ck.Cells), layout.Cells)
+	}
+	for i, cs := range ck.Cells {
+		if err := cs.validate(layout, cuts); err != nil {
+			return nil, fmt.Errorf("campaign: snapshot %s: %w: cell %d: %v", path, ErrMismatch, i, err)
+		}
+	}
+	return &ck, nil
+}

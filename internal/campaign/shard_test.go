@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildShards splits a full summary set into n complete shard results.
+func buildShards(layout Layout, hash string, n int, sums []Summary) []*ShardResult {
+	shards := make([]*ShardResult, n)
+	for i := range shards {
+		shards[i] = &ShardResult{
+			Key:      Key{ConfigHash: hash, Shard: Shard{Index: i, Count: n}},
+			Tasks:    layout.Tasks(),
+			Complete: true,
+		}
+	}
+	for task, s := range sums {
+		sr := shards[task%n]
+		sr.Summaries = append(sr.Summaries, TaskSummary{Task: task, Summary: s})
+	}
+	return shards
+}
+
+func TestMergeShardsMatchesSerialRun(t *testing.T) {
+	// The shard-merge property: for random grids and random summaries,
+	// merge(shard 0/n .. n-1/n) folds to the exact same state — Welford
+	// means, M2s, counts, and therefore CI bounds — as the serial run,
+	// for n in {2, 3, 8}.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		layout := Layout{Cells: 1 + rng.Intn(5), Replicates: 1 + rng.Intn(7)}
+		cuts := 1 + rng.Intn(3)
+		sums := make([]Summary, layout.Tasks())
+		for i := range sums {
+			sums[i] = randomSummary(rng, cuts)
+		}
+		serial := serialStore(t, layout, cuts, sums)
+		want := serial.Snapshot()
+		for _, n := range []int{2, 3, 8} {
+			shards := buildShards(layout, "h", n, sums)
+			// Present the shards in scrambled order: merge must not
+			// care which process finished first.
+			rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+			merged, err := MergeShards(layout, cuts, "h", shards)
+			if err != nil {
+				t.Fatalf("trial %d n=%d: %v", trial, n, err)
+			}
+			got := merged.Snapshot()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d n=%d: merged state differs from serial run", trial, n)
+			}
+			// CI bounds bit-for-bit, through the public accessors.
+			for c := range want {
+				wlo, whi := welfordCI(want[c].Rej[0])
+				glo, ghi := welfordCI(got[c].Rej[0])
+				if wlo != glo || whi != ghi {
+					t.Fatalf("trial %d n=%d cell %d: CI bounds differ", trial, n, c)
+				}
+			}
+		}
+	}
+}
+
+func welfordCI(ws WelfordState) (float64, float64) {
+	w := FromState(ws)
+	return w.CI95()
+}
+
+func TestMergeShardsNamedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	layout := Layout{Cells: 2, Replicates: 6}
+	const cuts = 2
+	sums := make([]Summary, layout.Tasks())
+	for i := range sums {
+		sums[i] = randomSummary(rng, cuts)
+	}
+	fresh := func() []*ShardResult { return buildShards(layout, "h", 3, sums) }
+
+	// Missing shard.
+	shards := fresh()
+	if _, err := MergeShards(layout, cuts, "h", shards[:2]); !errors.Is(err, ErrShardMissing) {
+		t.Errorf("missing shard: err = %v", err)
+	}
+	if _, err := MergeShards(layout, cuts, "h", nil); !errors.Is(err, ErrShardMissing) {
+		t.Errorf("no shards: err = %v", err)
+	}
+	// Overlapping shard: the same index supplied twice.
+	shards = fresh()
+	shards[2] = shards[0]
+	if _, err := MergeShards(layout, cuts, "h", shards); !errors.Is(err, ErrShardOverlap) {
+		t.Errorf("overlap: err = %v", err)
+	}
+	// Incomplete shard.
+	shards = fresh()
+	shards[1].Summaries = shards[1].Summaries[:1]
+	shards[1].Complete = false
+	if _, err := MergeShards(layout, cuts, "h", shards); !errors.Is(err, ErrShardIncomplete) {
+		t.Errorf("incomplete: err = %v", err)
+	}
+	// Foreign config hash.
+	shards = fresh()
+	shards[1].Key.ConfigHash = "other"
+	if _, err := MergeShards(layout, cuts, "h", shards); !errors.Is(err, ErrMismatch) {
+		t.Errorf("foreign hash: err = %v", err)
+	}
+	// Disagreeing partition sizes: a 0/2 shard in a merge of thirds.
+	shards = fresh()
+	half := buildShards(layout, "h", 2, sums)
+	shards[0] = half[0]
+	if _, err := MergeShards(layout, cuts, "h", shards); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mixed partition: err = %v", err)
+	}
+	// Foreign grid size.
+	shards = fresh()
+	shards[0].Tasks = layout.Tasks() + 6
+	if _, err := MergeShards(layout, cuts, "h", shards); err == nil {
+		t.Error("foreign grid accepted")
+	}
+}
+
+func TestShardFileRoundTripAndResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	layout := Layout{Cells: 2, Replicates: 4}
+	const cuts = 2
+	sums := make([]Summary, layout.Tasks())
+	for i := range sums {
+		sums[i] = randomSummary(rng, cuts)
+	}
+	key := Key{ConfigHash: "h", Shard: Shard{Index: 1, Count: 2}}
+	// A partial shard (the checkpoint form): only some owned tasks.
+	partial := &ShardResult{Key: key, Tasks: layout.Tasks(), Complete: false}
+	for task := 0; task < layout.Tasks(); task++ {
+		if key.Shard.Owns(task) && len(partial.Summaries) < 2 {
+			partial.Summaries = append(partial.Summaries, TaskSummary{Task: task, Summary: sums[task]})
+		}
+	}
+	path := filepath.Join(t.TempDir(), "s.shard")
+	if err := WriteShard(path, partial); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShardFor(path, key, layout, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, partial) {
+		t.Fatal("shard file drifted through write/load")
+	}
+	// Resume under a foreign key or geometry is ErrMismatch.
+	if _, err := LoadShardFor(path, Key{ConfigHash: "x", Shard: key.Shard}, layout, cuts); !errors.Is(err, ErrMismatch) {
+		t.Errorf("foreign hash: err = %v", err)
+	}
+	if _, err := LoadShardFor(path, key, Layout{Cells: 3, Replicates: 4}, cuts); !errors.Is(err, ErrMismatch) {
+		t.Errorf("foreign layout: err = %v", err)
+	}
+	if _, err := LoadShardFor(path, key, layout, cuts+1); !errors.Is(err, ErrMismatch) {
+		t.Errorf("foreign cuts: err = %v", err)
+	}
+	// Writer-side validation: unsorted, unowned, or over-complete
+	// summaries never reach the disk.
+	bad := &ShardResult{Key: key, Tasks: layout.Tasks(), Summaries: []TaskSummary{{Task: 0}}}
+	if err := WriteShard(filepath.Join(t.TempDir(), "bad"), bad); err == nil {
+		t.Error("unowned task accepted")
+	}
+	bad = &ShardResult{Key: key, Tasks: layout.Tasks(), Complete: true, Summaries: partial.Summaries}
+	if err := WriteShard(filepath.Join(t.TempDir(), "bad"), bad); err == nil {
+		t.Error("incomplete shard marked complete accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm): numerically stable for long replicate streams, constant
+// memory, and exact in the order the values are fed — the store feeds
+// it in replicate-index order so aggregates are scheduling-independent,
+// and its three words of state are exactly what a checkpoint persists.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 below two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.n))
+}
+
+// CI95 returns the normal-approximation 95% confidence interval on the
+// mean. With fewer than two observations it degenerates to the mean.
+func (w *Welford) CI95() (lo, hi float64) {
+	const z = 1.959963984540054 // Phi^-1(0.975)
+	se := w.StdErr()
+	return w.mean - z*se, w.mean + z*se
+}
+
+// WelfordState is the serializable form of a Welford accumulator.
+// float64 JSON round-trips bit-exactly (Go emits the shortest
+// representation that parses back to the same bits), which is what
+// makes a resumed campaign byte-identical to an uninterrupted one.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// FromState rebuilds an accumulator from a snapshot.
+func FromState(st WelfordState) Welford {
+	return Welford{n: st.N, mean: st.Mean, m2: st.M2}
+}
+
+// validate rejects states no Add sequence could have produced.
+func (st WelfordState) validate() error {
+	if st.N < 0 {
+		return fmt.Errorf("campaign: negative welford count %d", st.N)
+	}
+	if math.IsNaN(st.Mean) || math.IsInf(st.Mean, 0) || math.IsNaN(st.M2) || math.IsInf(st.M2, 0) || st.M2 < 0 {
+		return fmt.Errorf("campaign: non-finite or negative welford state (mean=%v m2=%v)", st.Mean, st.M2)
+	}
+	if st.N == 0 && (st.Mean != 0 || st.M2 != 0) {
+		return fmt.Errorf("campaign: welford state with zero count but nonzero moments")
+	}
+	return nil
+}

@@ -20,13 +20,10 @@ package sweep
 
 import (
 	"fmt"
-	"math"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/campaign"
 	"repro/internal/circuits"
-	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
 	"repro/internal/faultsim"
@@ -214,22 +211,12 @@ type cut struct {
 	Step     int     // last strobe index included in the truncated program
 }
 
-// repSummary is the per-replicate record aggregation consumes: small
-// enough to hold cells × replicates of them in memory.
-type repSummary struct {
-	passed      []int // shipped chips per cut
-	escapes     []int // defective shipped chips per cut
-	testedYield float64
-	lotYield    float64
-	trueN0      float64
-	fitN0       float64 // NaN when the fit did not converge
-}
-
 // Sweeper is a configured sweep with its once-per-circuit state built.
 type Sweeper struct {
-	cfg       Config
-	workloads []workload
-	cells     []cellKey
+	cfg         Config
+	workloads   []workload
+	cells       []cellKey
+	fingerprint string
 }
 
 // New validates the configuration, prepares every workload exactly once
@@ -288,6 +275,7 @@ func New(cfg Config) (*Sweeper, error) {
 		s.workloads[i] = workload{spec: unit, lr: lr, cuts: cuts}
 	}
 	s.cells = s.cellList()
+	s.fingerprint = fingerprint(units, cfg)
 	return s, nil
 }
 
@@ -318,87 +306,29 @@ func (s *Sweeper) Workloads() int { return len(s.workloads) }
 // Runner exposes a workload's LotRunner (for reporting circuit facts).
 func (s *Sweeper) Runner(i int) *experiment.LotRunner { return s.workloads[i].lr }
 
-// Run fans cells × replicates over the worker pool and aggregates.
+// Run fans cells × replicates over the worker pool and aggregates. It
+// is RunWith with no durability options: nothing checkpointed, nothing
+// resumed — but the exact same store-fed fold, so the bytes match.
 func (s *Sweeper) Run() (*Result, error) {
-	rCount := s.cfg.Replicates
-	total := len(s.cells) * rCount
-	summaries := make([]repSummary, total)
-	workers := s.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-	// Pre-filled buffered channel: no sender to block, so an erroring
-	// worker can simply stop consuming.
-	tasks := make(chan int, total)
-	for t := 0; t < total; t++ {
-		tasks <- t
-	}
-	close(tasks)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		failed.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One ATE per (worker, workload), built on first use,
-			// amortizes the good-machine pre-simulation across the
-			// worker's replicates of that circuit.
-			ates := make([]*tester.ATE, len(s.workloads))
-			for t := range tasks {
-				if failed.Load() {
-					return
-				}
-				wi := s.cells[t/rCount].w
-				if ates[wi] == nil {
-					ate, err := s.workloads[wi].lr.NewATE()
-					if err != nil {
-						fail(err)
-						return
-					}
-					ates[wi] = ate
-				}
-				if err := s.runTask(ates[wi], t, summaries); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return s.aggregate(summaries)
+	return s.RunWith(RunOptions{})
 }
 
-// runTask manufactures and tests one replicate lot and reduces it to
-// its summary slot.
-func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) error {
+// summarize manufactures and tests one replicate lot and reduces it to
+// the per-replicate record the campaign store folds.
+func (s *Sweeper) summarize(ate *tester.ATE, task int) (campaign.Summary, error) {
 	cell := s.cells[task/s.cfg.Replicates]
 	wl := s.workloads[cell.w]
 	seed := replicateSeed(s.cfg.Seed, task)
 	out, err := wl.lr.RunLotWith(ate, cell.y, cell.n0, cell.chips, seed)
 	if err != nil {
-		return err
+		return campaign.Summary{}, err
 	}
-	sum := repSummary{
-		passed:      make([]int, len(wl.cuts)),
-		escapes:     make([]int, len(wl.cuts)),
-		testedYield: out.TestedYield,
-		lotYield:    out.LotYield,
-		trueN0:      out.TrueN0,
-		fitN0:       math.NaN(),
+	sum := campaign.Summary{
+		Passed:      make([]int, len(wl.cuts)),
+		Escapes:     make([]int, len(wl.cuts)),
+		TestedYield: out.TestedYield,
+		LotYield:    out.LotYield,
+		TrueN0:      out.TrueN0,
 	}
 	// A chip fails the program truncated at cut c iff its first failing
 	// strobe is inside the prefix; everything else ships. Defective
@@ -410,93 +340,14 @@ func (s *Sweeper) runTask(ate *tester.ATE, task int, summaries []repSummary) err
 				failedChips++
 			}
 		}
-		sum.passed[ci] = cell.chips - failedChips
-		sum.escapes[ci] = sum.passed[ci] - out.Good
+		sum.Passed[ci] = cell.chips - failedChips
+		sum.Escapes[ci] = sum.Passed[ci] - out.Good
 	}
 	if fit, err := estimate.FitN0(out.Curve, cell.y); err == nil {
-		sum.fitN0 = fit.N0
+		sum.FitOK = true
+		sum.FitN0 = fit.N0
 	}
-	summaries[task] = sum
-	return nil
-}
-
-// aggregate folds the per-replicate summaries into per-cell statistics
-// in replicate order (independent of scheduling).
-func (s *Sweeper) aggregate(summaries []repSummary) (*Result, error) {
-	rCount := s.cfg.Replicates
-	res := &Result{Config: s.cfg}
-	for _, wl := range s.workloads {
-		res.Workloads = append(res.Workloads, WorkloadInfo{
-			Spec:          wl.spec,
-			Name:          wl.lr.Circuit().Name,
-			Stats:         wl.lr.Stats(),
-			FaultCount:    wl.lr.FaultCount(),
-			PatternCount:  wl.lr.Patterns(),
-			FinalCoverage: wl.lr.FinalCoverage(),
-		})
-	}
-	for ci, cell := range s.cells {
-		wl := s.workloads[cell.w]
-		model, err := core.New(cell.y, cell.n0)
-		if err != nil {
-			return nil, err
-		}
-		rejAcc := make([]Welford, len(wl.cuts))
-		escAcc := make([]Welford, len(wl.cuts))
-		passAcc := make([]Welford, len(wl.cuts))
-		var tyAcc, lyAcc, trueAcc, fitAcc Welford
-		for rep := 0; rep < rCount; rep++ {
-			sum := summaries[ci*rCount+rep]
-			for j := range wl.cuts {
-				// A lot that ships nothing has no reject rate; exclude
-				// it from the mean/CI (like a non-converged fit) rather
-				// than recording a biasing zero. RejSamples surfaces
-				// how many replicates actually contributed.
-				if sum.passed[j] > 0 {
-					rejAcc[j].Add(float64(sum.escapes[j]) / float64(sum.passed[j]))
-				}
-				escAcc[j].Add(float64(sum.escapes[j]))
-				passAcc[j].Add(float64(sum.passed[j]))
-			}
-			tyAcc.Add(sum.testedYield)
-			lyAcc.Add(sum.lotYield)
-			trueAcc.Add(sum.trueN0)
-			if !math.IsNaN(sum.fitN0) {
-				fitAcc.Add(sum.fitN0)
-			}
-		}
-		cr := CellResult{
-			Circuit:    wl.lr.Circuit().Name,
-			Yield:      cell.y,
-			N0:         cell.n0,
-			Chips:      cell.chips,
-			Replicates: rCount,
-			Points:     make([]PointStat, len(wl.cuts)),
-		}
-		for j, c := range wl.cuts {
-			lo, hi := rejAcc[j].CI95()
-			cr.Points[j] = PointStat{
-				Target:      c.Target,
-				Coverage:    c.Coverage,
-				AnalyticR:   model.RejectRate(c.Coverage),
-				MeanR:       rejAcc[j].Mean(),
-				StdR:        math.Sqrt(rejAcc[j].Variance()),
-				CILow:       math.Max(0, lo),
-				CIHigh:      math.Min(1, hi),
-				RejSamples:  rejAcc[j].Count(),
-				MeanEscapes: escAcc[j].Mean(),
-				MeanPassed:  passAcc[j].Mean(),
-			}
-		}
-		cr.MeanTestedYield = tyAcc.Mean()
-		cr.MeanLotYield = lyAcc.Mean()
-		cr.TrueN0Mean = trueAcc.Mean()
-		cr.FitN0Count = fitAcc.Count()
-		cr.FitN0Mean = fitAcc.Mean()
-		cr.FitN0CILow, cr.FitN0CIHigh = fitAcc.CI95()
-		res.Cells = append(res.Cells, cr)
-	}
-	return res, nil
+	return sum, nil
 }
 
 // Run is the one-call convenience: New followed by Run.

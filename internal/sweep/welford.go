@@ -1,52 +1,10 @@
 package sweep
 
-import "math"
+import "repro/internal/campaign"
 
-// Welford is a streaming mean/variance accumulator (Welford's online
-// algorithm): numerically stable for long replicate streams, constant
-// memory, and exact in the order the values are fed — the sweep feeds
-// it in replicate-index order so aggregates are scheduling-independent.
-type Welford struct {
-	n    int
-	mean float64
-	m2   float64
-}
-
-// Add folds one observation in.
-func (w *Welford) Add(x float64) {
-	w.n++
-	d := x - w.mean
-	w.mean += d / float64(w.n)
-	w.m2 += d * (x - w.mean)
-}
-
-// Count returns the number of observations.
-func (w *Welford) Count() int { return w.n }
-
-// Mean returns the running mean (0 with no observations).
-func (w *Welford) Mean() float64 { return w.mean }
-
-// Variance returns the unbiased sample variance (0 below two
-// observations).
-func (w *Welford) Variance() float64 {
-	if w.n < 2 {
-		return 0
-	}
-	return w.m2 / float64(w.n-1)
-}
-
-// StdErr returns the standard error of the mean.
-func (w *Welford) StdErr() float64 {
-	if w.n < 1 {
-		return 0
-	}
-	return math.Sqrt(w.Variance() / float64(w.n))
-}
-
-// CI95 returns the normal-approximation 95% confidence interval on the
-// mean. With fewer than two observations it degenerates to the mean.
-func (w *Welford) CI95() (lo, hi float64) {
-	const z = 1.959963984540054 // Phi^-1(0.975)
-	se := w.StdErr()
-	return w.mean - z*se, w.mean + z*se
-}
+// Welford is the streaming mean/variance accumulator the sweep
+// aggregates with. It moved to internal/campaign when the result store
+// was extracted into the checkpoint/resume layer (its three words of
+// state are exactly what a checkpoint persists); the alias keeps the
+// sweep-level name every report field documents itself against.
+type Welford = campaign.Welford
