@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke cover bench bench-json golden race sweep-smoke sweepd-smoke
+.PHONY: verify build vet test smoke lint cover bench bench-json golden race sweep-smoke sweepd-smoke
 
-# Tier-1 verification plus vet: what CI runs.
-verify: build vet test smoke
+# Tier-1 verification plus vet and repolint: what CI runs.
+verify: build vet lint test smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ test:
 # Fast §7 headline check: the paper's numbers, nothing else.
 smoke:
 	$(GO) test -run 'TestHeadlines' ./internal/dist/
+
+# Repo-contract static analysis (stdlib-only, cmd/repolint): the
+# determinism, registry, invalidation, hotpath, and sentinel-errors
+# analyzers over every package. Nonzero exit on any finding.
+lint:
+	$(GO) run ./cmd/repolint
 
 # Statement coverage of the probability substrate, enforcing the 90% floor.
 cover:
@@ -47,16 +53,12 @@ bench-json:
 golden:
 	$(GO) test -run 'Golden' ./internal/sweep/ ./internal/dist/
 
-# Race-detect the concurrent layers: the artifact cache, the sweep
-# worker pool and its checkpoint/shard job engine, the campaign result
-# store those feed, the sweepd daemon handlers, the lot experiment
-# underneath, the ATE substrate the workers clone over one shared
-# circuit, and the flat/wide-lane core those engines walk (-short skips
-# the multi-second Monte-Carlo run).
+# Race-detect the whole module (-short skips the multi-second
+# Monte-Carlo runs and the full-module lint sweep): the hand-picked
+# package list this target used to carry kept silently aging as new
+# concurrent layers appeared.
 race:
-	$(GO) test -race -short ./internal/circuits/ ./internal/sweep/ ./internal/campaign/ \
-		./cmd/sweepd/ ./internal/experiment/ \
-		./internal/tester/ ./internal/logicsim/ ./internal/faultsim/
+	$(GO) test -race -short ./...
 
 # Tiny end-to-end Monte-Carlo grid through the real CLI over a
 # two-circuit campaign: seconds, not minutes, yet it exercises the

@@ -137,6 +137,7 @@ func (j *job) publish(cell int, snap campaign.CellSnapshot) {
 	defer j.mu.Unlock()
 	j.snaps[cell] = snap
 	ev := j.eventLocked(cell)
+	//repolint:ordered — fan-out to subscriber channels; delivery order between watchers is not part of any result
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -474,6 +475,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
+	//repolint:ordered — collection only; the response is sorted by job ID below
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
@@ -639,6 +641,7 @@ func (s *server) beginShutdown() {
 	s.mu.Lock()
 	s.stopping = true
 	jobs := make([]*job, 0, len(s.jobs))
+	//repolint:ordered — each job checkpoints into its own directory; stop order is immaterial
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}

@@ -10,14 +10,14 @@ import (
 	"log"
 
 	"repro/internal/atpg"
+	"repro/internal/circuits"
 	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/logicsim"
-	"repro/internal/netlist"
 )
 
 func main() {
-	c, err := netlist.ALUSlice(4)
+	c, err := circuits.Resolve("alu4")
 	if err != nil {
 		log.Fatal(err)
 	}

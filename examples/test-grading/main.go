@@ -10,15 +10,15 @@ import (
 	"log"
 
 	"repro/internal/atpg"
+	"repro/internal/circuits"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
-	"repro/internal/netlist"
 	"repro/quality"
 )
 
 func main() {
 	// The device under test: an 8-bit array multiplier (~3k faults).
-	c, err := netlist.ArrayMultiplier(8)
+	c, err := circuits.Resolve("mul8")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -122,7 +122,7 @@ func readSnapshotFile(path, wantSchema string) (json.RawMessage, error) {
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %w", path, ErrCorrupt, err)
 	}
 	if env.Schema != wantSchema {
 		return nil, fmt.Errorf("campaign: snapshot %s: %w: got %q, want %q",
@@ -133,7 +133,7 @@ func readSnapshotFile(path, wantSchema string) (json.RawMessage, error) {
 	}
 	sum, err := bodyChecksum(env.Body)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %w", path, ErrCorrupt, err)
 	}
 	if sum != env.SHA256 {
 		return nil, fmt.Errorf("campaign: snapshot %s: %w: checksum mismatch", path, ErrCorrupt)
@@ -157,7 +157,7 @@ func LoadCheckpoint(path string, key Key, layout Layout, cuts int) (*Checkpoint,
 	}
 	var ck Checkpoint
 	if err := json.Unmarshal(body, &ck); err != nil {
-		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %w", path, ErrCorrupt, err)
 	}
 	if ck.Key != key {
 		return nil, fmt.Errorf("campaign: snapshot %s: %w: checkpoint key %+v, campaign key %+v",
@@ -169,7 +169,7 @@ func LoadCheckpoint(path string, key Key, layout Layout, cuts int) (*Checkpoint,
 	}
 	for i, cs := range ck.Cells {
 		if err := cs.validate(layout, cuts); err != nil {
-			return nil, fmt.Errorf("campaign: snapshot %s: %w: cell %d: %v", path, ErrMismatch, i, err)
+			return nil, fmt.Errorf("campaign: snapshot %s: %w: cell %d: %w", path, ErrMismatch, i, err)
 		}
 	}
 	return &ck, nil

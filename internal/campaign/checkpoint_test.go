@@ -163,3 +163,25 @@ func TestEnvelopeChecksumSurvivesReindent(t *testing.T) {
 		t.Fatalf("reindented checkpoint rejected: %v", err)
 	}
 }
+
+// TestCheckpointErrorChainsCause pins the wrap discipline: a corrupt
+// snapshot reports ErrCorrupt for the caller's errors.Is dispatch AND
+// keeps the underlying decode error in the chain (both via %w), so the
+// original cause stays reachable for diagnosis instead of being
+// flattened into the message string.
+func TestCheckpointErrorChainsCause(t *testing.T) {
+	layout := Layout{Cells: 2, Replicates: 3}
+	ck := testCheckpoint(t, layout, 1, 5)
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := os.WriteFile(path, []byte("not even json {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path, ck.Key, layout, 1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt in chain", err)
+	}
+	var syn *json.SyntaxError
+	if !errors.As(err, &syn) {
+		t.Errorf("decode cause lost from the chain: %v", err)
+	}
+}

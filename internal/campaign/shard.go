@@ -93,10 +93,10 @@ func LoadShard(path string) (*ShardResult, error) {
 	}
 	var sr ShardResult
 	if err := json.Unmarshal(body, &sr); err != nil {
-		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %w", path, ErrCorrupt, err)
 	}
 	if err := sr.validate(); err != nil {
-		return nil, fmt.Errorf("campaign: snapshot %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("campaign: snapshot %s: %w: %w", path, ErrCorrupt, err)
 	}
 	return &sr, nil
 }
@@ -119,7 +119,7 @@ func LoadShardFor(path string, key Key, layout Layout, cuts int) (*ShardResult, 
 	}
 	for _, ts := range sr.Summaries {
 		if err := ts.validate(cuts); err != nil {
-			return nil, fmt.Errorf("campaign: snapshot %s: %w: task %d: %v", path, ErrMismatch, ts.Task, err)
+			return nil, fmt.Errorf("campaign: snapshot %s: %w: task %d: %w", path, ErrMismatch, ts.Task, err)
 		}
 	}
 	return sr, nil

@@ -16,6 +16,10 @@
 //	dec<N>           N-to-2^N one-hot decoder with enable
 //	mux<N>           2^N-to-1 multiplexer tree
 //	cmp<N>           N-bit equality comparator
+//	cla<N>           N-bit carry-lookahead adder
+//	alu<N>           N-bit ALU slice
+//	bshift<N>        2^N-bit barrel shifter
+//	datapath<N>      N-bit composed datapath
 //	rand<seed>       pseudo-random circuit (16 inputs, 400 gates,
 //	                 12 outputs), reproducible from the seed
 //	bench:<path>     circuit in ISCAS .bench format; <path> may be a
@@ -55,6 +59,10 @@ func builtins() []builtin {
 		{"dec", "N-to-2^N decoder with enable (random-pattern resistant)", netlist.Decoder},
 		{"mux", "2^N-to-1 multiplexer tree", netlist.MuxTree},
 		{"cmp", "N-bit equality comparator", netlist.Comparator},
+		{"cla", "N-bit carry-lookahead adder (wide-fanin reconvergent carries)", netlist.CarryLookaheadAdder},
+		{"alu", "N-bit ALU slice: AND/OR/XOR/ADD selected by two op bits", netlist.ALUSlice},
+		{"bshift", "2^N-bit logical barrel shifter with N mux stages", netlist.BarrelShifter},
+		{"datapath", "N-bit datapath: multiplier and adder feeding an ALU, parity-observed", netlist.Datapath},
 		{"rand", "pseudo-random circuit, 16 inputs × 400 gates × 12 outputs, seeded by N",
 			func(n int) (*netlist.Circuit, error) {
 				return netlist.RandomCircuit(fmt.Sprintf("rand%d", n), 16, 400, 12, int64(n))

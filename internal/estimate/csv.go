@@ -27,11 +27,11 @@ func ParseCSV(r io.Reader) (Curve, error) {
 		}
 		f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("estimate: line %d: coverage: %v", line, err)
+			return nil, fmt.Errorf("estimate: line %d: coverage: %w", line, err)
 		}
 		fail, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("estimate: line %d: fraction: %v", line, err)
+			return nil, fmt.Errorf("estimate: line %d: fraction: %w", line, err)
 		}
 		curve = append(curve, FalloutPoint{F: f, Fail: fail})
 	}

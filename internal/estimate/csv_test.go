@@ -1,6 +1,8 @@
 package estimate
 
 import (
+	"errors"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -57,5 +59,15 @@ func TestCSVRoundTrip(t *testing.T) {
 		if back[i] != PaperTable1.Curve[i] {
 			t.Errorf("point %d changed: %+v vs %+v", i, back[i], PaperTable1.Curve[i])
 		}
+	}
+}
+
+// TestParseCSVErrorChainsCause pins the wrap discipline: a malformed
+// number reports the strconv cause through the chain (%w), not a
+// flattened copy of its message.
+func TestParseCSVErrorChainsCause(t *testing.T) {
+	_, err := ParseCSV(strings.NewReader("abc,0.2\n"))
+	if !errors.Is(err, strconv.ErrSyntax) {
+		t.Errorf("err = %v, want strconv.ErrSyntax in chain", err)
 	}
 }

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages from source with no help from
+// the go command: module-local import paths resolve into the module
+// tree, everything else resolves into GOROOT/src (with the stdlib
+// vendor directory as fallback). Cgo is disabled so the pure-Go
+// fallback files of packages like net are selected — the same file set
+// a CGO_ENABLED=0 build compiles. Packages are checked once and cached
+// by import path.
+type Loader struct {
+	Fset *token.FileSet
+	// Root is the module root directory; Module its module path.
+	Root   string
+	Module string
+
+	ctx  build.Context
+	pkgs map[string]*Package
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewLoader locates the enclosing module from dir (walking up to the
+// go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:   token.NewFileSet(),
+		Root:   root,
+		Module: mod,
+		ctx:    ctx,
+		pkgs:   map[string]*Package{},
+	}, nil
+}
+
+// modulePath reads the module declaration of a go.mod file.
+func modulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			mod := strings.TrimSpace(rest)
+			mod = strings.Trim(mod, `"`)
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", path)
+}
+
+// Import implements types.Importer over the cache, so type-checking a
+// package recursively loads its dependencies.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// dirFor resolves an import path to its source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.Module {
+		return l.Root, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err == nil {
+		return dir, nil
+	}
+	// Vendored stdlib dependencies (golang.org/x/... under net/http
+	// etc.) live in GOROOT/src/vendor under their canonical paths.
+	vendored := filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if _, err := os.Stat(vendored); err == nil {
+		return vendored, nil
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q", path)
+}
+
+// load parses and type-checks the package at the import path, caching
+// the result. Only non-test files participate: the conventions under
+// enforcement are about shipped code, and tests legitimately construct
+// circuits and clocks directly.
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = nil // cycle marker
+	p, err := l.check(dir, path)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads the package in dir (which must live inside the module)
+// under its module-derived import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.Root)
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+// check parses the build-selected non-test files of dir and
+// type-checks them as import path `path`.
+func (l *Loader) check(dir, path string) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	if len(bp.GoFiles) == 0 {
+		return nil, fmt.Errorf("lint: %s: no buildable non-test Go files", dir)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor(l.ctx.Compiler, l.ctx.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+	return &Package{Dir: dir, Path: path, Files: files, Types: pkg, Info: info}, nil
+}
+
+// TargetDirs walks the module and returns every directory holding a
+// buildable package, in deterministic (lexical) order. Directories the
+// go tool would not build — testdata, hidden and underscore-prefixed
+// names — are skipped, matching the ./... pattern.
+func (l *Loader) TargetDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := l.ctx.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Pass wraps a loaded package for the analyzers.
+func (p *Package) Pass(fset *token.FileSet) *Pass {
+	return &Pass{Fset: fset, Path: p.Path, Files: p.Files, Pkg: p.Types, Info: p.Info}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var registryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc: "no circuit construction or resolution outside internal/circuits: any " +
+		"call to a package-level internal/netlist function returning *netlist.Circuit " +
+		"(generators, ParseBench, New) must route through the circuits registry so " +
+		"one spec means one circuit everywhere",
+	Run: runRegistry,
+}
+
+// runRegistry replaces the PR 4 source-scan regression test
+// (TestNoPrivateResolverInCmds): instead of grepping cmd/ sources for
+// a hand-maintained name list, it bans — everywhere outside the
+// registry itself — any call whose callee is a package-level
+// internal/netlist function with *netlist.Circuit among its results.
+// The ban list can therefore never drift from the generator set.
+func runRegistry(p *Pass) []Finding {
+	if p.pathHasSuffix("internal/circuits") || p.pathHasSuffix("internal/netlist") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.callee(call)
+			if fn == nil || fn.Pkg() == nil || !isNetlistPath(fn.Pkg().Path()) {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods operate on an existing circuit
+			}
+			if !returnsCircuit(sig) {
+				return true
+			}
+			out = p.finding(out, "registry", call.Pos(),
+				"netlist.%s constructs a circuit outside internal/circuits; resolve a workload spec through the circuits registry instead", fn.Name())
+			return true
+		})
+	}
+	return out
+}
+
+func isNetlistPath(path string) bool {
+	return path == "internal/netlist" || strings.HasSuffix(path, "/internal/netlist")
+}
+
+// returnsCircuit reports whether any result of the signature is
+// *netlist.Circuit.
+func returnsCircuit(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		ptr, ok := res.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Circuit" && obj.Pkg() != nil && isNetlistPath(obj.Pkg().Path()) {
+			return true
+		}
+	}
+	return false
+}

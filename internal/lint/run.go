@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exit codes returned by Main, mirroring go vet's convention.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitUsage    = 2 // bad flags, unknown analyzer, or load failure
+)
+
+// Config selects what Run analyzes.
+type Config struct {
+	// Dir is the directory to resolve the module from. Empty means ".".
+	Dir string
+	// Targets are directories to analyze. Empty means every package
+	// directory under the module root (the ./... walk).
+	Targets []string
+	// Only restricts the run to the named analyzers; Skip removes
+	// analyzers from the selection. Only wins if both name the same
+	// analyzer.
+	Only []string
+	Skip []string
+}
+
+// Run loads every target package and applies the selected analyzers,
+// returning findings sorted by position.
+func Run(cfg Config) ([]Finding, error) {
+	analyzers, err := selectAnalyzers(cfg.Only, cfg.Skip)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets, err = loader.TargetDirs()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []Finding
+	for _, t := range targets {
+		pkg, err := loader.LoadDir(t)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", t, err)
+		}
+		pass := pkg.Pass(loader.Fset)
+		for _, a := range analyzers {
+			all = append(all, a.Run(pass)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		if all[i].Pos.Line != all[j].Pos.Line {
+			return all[i].Pos.Line < all[j].Pos.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// selectAnalyzers resolves -only/-skip lists against the registry.
+func selectAnalyzers(only, skip []string) ([]*Analyzer, error) {
+	for _, name := range append(append([]string{}, only...), skip...) {
+		if _, ok := Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run with -list to see the registry)", name)
+		}
+	}
+	keep := func(name string) bool {
+		if len(only) > 0 {
+			for _, o := range only {
+				if o == name {
+					return true
+				}
+			}
+			return false
+		}
+		for _, s := range skip {
+			if s == name {
+				return false
+			}
+		}
+		return true
+	}
+	var sel []*Analyzer
+	for _, a := range All() {
+		if keep(a.Name) {
+			sel = append(sel, a)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return sel, nil
+}
+
+// Main is the repolint entry point: parses flags, runs the selected
+// analyzers over the targets (directories; default is the whole
+// module), prints findings as file:line: analyzer: message, and
+// returns the process exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip = fs.String("skip", "", "comma-separated analyzers to skip")
+		list = fs.Bool("list", false, "print the analyzer registry and exit")
+		dir  = fs.String("dir", ".", "directory to resolve the module root from")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: repolint [flags] [dir ...]\n\n"+
+			"Analyzes the repro module with the repo-contract analyzers.\n"+
+			"With no directory arguments, walks every package under the module root.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitUsage
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	cfg := Config{
+		Dir:     *dir,
+		Targets: fs.Args(),
+		Only:    splitList(*only),
+		Skip:    splitList(*skip),
+	}
+	findings, err := Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return ExitUsage
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"unicode"
+	"unicode/utf8"
+)
+
+var sentinelAnalyzer = &Analyzer{
+	Name: "sentinel-errors",
+	Doc: "package-level Err* sentinels must be errors.New (comparable identities, " +
+		"not format strings), and error values passed to fmt.Errorf must be wrapped " +
+		"with %w so errors.Is/As see through the wrap (format .Error() explicitly " +
+		"to flatten on purpose)",
+	Run: runSentinels,
+}
+
+func runSentinels(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			out = p.checkSentinelDecl(out, gd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				out = p.checkErrorfWraps(out, call)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isSentinelName reports whether the name is an exported Err* sentinel
+// (Err followed by an upper-case rune).
+func isSentinelName(name string) bool {
+	rest, ok := cutPrefix(name, "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return unicode.IsUpper(r)
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// checkSentinelDecl flags package-level Err* variables not initialized
+// with errors.New.
+func (p *Pass) checkSentinelDecl(out []Finding, gd *ast.GenDecl) []Finding {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !isSentinelName(name.Name) || i >= len(vs.Values) {
+				continue
+			}
+			if call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr); ok {
+				if fn := p.callee(call); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "errors" && fn.Name() == "New" {
+					continue
+				}
+			}
+			out = p.finding(out, "sentinel-errors", name.Pos(),
+				"sentinel %s must be errors.New: a formatted or composed value is not a stable comparable identity", name.Name)
+		}
+	}
+	return out
+}
+
+// checkErrorfWraps flags fmt.Errorf arguments of error type formatted
+// with a verb other than %w.
+func (p *Pass) checkErrorfWraps(out []Finding, call *ast.CallExpr) []Finding {
+	fn := p.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return out
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return out // dynamic format string: nothing to check
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return out // indexed or otherwise exotic format: skip
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) || verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if isErrorType(p.Info.TypeOf(arg)) {
+			out = p.finding(out, "sentinel-errors", arg.Pos(),
+				"error value formatted with %%%c loses the chain; wrap with %%w (or pass err.Error() to flatten deliberately)", verb)
+		}
+	}
+	return out
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format. '*' width/precision arguments
+// appear as '*'. Explicit argument indexes (%[1]d) abort with ok ==
+// false — rare enough that skipping the call is fine.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// Width and precision, each possibly '*' (consuming an arg).
+		for k := 0; k < 2; k++ {
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+			if k == 0 && i < len(format) && format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil, false // explicit argument index
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs, true
+}

@@ -1,0 +1,45 @@
+// Package sweep is a determinism fixture: its directory suffix puts it
+// in the analyzer's scope, so every clock read, global-rand draw, and
+// un-annotated map range below must be reported.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+func draw() int {
+	return rand.Intn(6) // want determinism
+}
+
+func fold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism
+		total += v
+	}
+	return total
+}
+
+func seeded(seed int64) int {
+	// Explicit generator state: methods on *rand.Rand are fine, and so
+	// is the rand.New/NewSource construction itself.
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func foldAnnotated(m map[string]int) int {
+	total := 0
+	//repolint:ordered — integer addition commutes; order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

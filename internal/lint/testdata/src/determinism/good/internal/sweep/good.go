@@ -1,0 +1,36 @@
+// Package sweep is the clean determinism fixture: in scope, but every
+// construct below follows the contract, so the analyzer must stay
+// silent.
+package sweep
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func foldSorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//repolint:ordered — key harvest; sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func overSlice(xs []int) int {
+	total := 0
+	for _, x := range xs { // slices iterate in order: no annotation needed
+		total += x
+	}
+	return total
+}

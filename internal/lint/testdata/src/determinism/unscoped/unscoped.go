@@ -1,0 +1,25 @@
+// Package unscoped repeats the determinism violations outside the
+// analyzer's package scope: nothing here may be reported, proving the
+// suffix scoping works.
+package unscoped
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+func draw() int {
+	return rand.Intn(6)
+}
+
+func fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package bad is the hotpath fixture: each banned construct appears
+// once inside an annotated function and must be reported.
+package bad
+
+import "fmt"
+
+//repolint:hotpath
+func format(x int) string {
+	return fmt.Sprintf("%d", x) // want hotpath
+}
+
+//repolint:hotpath
+func tally(keys []string) map[string]int {
+	m := make(map[string]int) // want hotpath
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+//repolint:hotpath
+func literals() int {
+	xs := []int{1, 2, 3} // want hotpath
+	p := &point{}        // want hotpath
+	return xs[0] + p.x
+}
+
+//repolint:hotpath
+func capture(xs []int) []func() int {
+	var fns []func() int
+	for _, x := range xs {
+		fns = append(fns, func() int { return x }) // want hotpath
+	}
+	return fns
+}
+
+type point struct{ x, y int }

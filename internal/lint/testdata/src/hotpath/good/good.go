@@ -1,0 +1,33 @@
+// Package good is the clean hotpath fixture: an annotated function
+// that follows the rules, next to an unannotated function that breaks
+// all of them — the analyzer must stay silent on both.
+package good
+
+import "fmt"
+
+//repolint:hotpath
+func walk(val []uint64, fanin []int) uint64 {
+	var acc uint64
+	for i := 0; i < len(fanin); i++ {
+		acc ^= val[fanin[i]]
+	}
+	return acc
+}
+
+//repolint:hotpath
+func sized(n int) []uint64 {
+	buf := make([]uint64, 0, n) // sized make: allowed
+	for i := 0; i < n; i++ {
+		buf = append(buf, uint64(i))
+	}
+	return buf
+}
+
+// cold is not annotated: allocation and formatting are fine here.
+func cold(xs []int) []string {
+	out := []string{}
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x))
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Package netlist is the invalidation fixture's mock of the real
+// package (the analyzer keys on package name + a Circuit receiver):
+// exported mutators that skip invalidate() must be reported.
+package netlist
+
+type Gate struct {
+	Name  string
+	Fanin []int
+}
+
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int
+	Outputs []int
+	byName  map[string]int
+
+	level []int
+}
+
+func (c *Circuit) invalidate() { c.level = nil }
+
+func (c *Circuit) AddGate(g Gate) { // want invalidation
+	c.byName[g.Name] = len(c.Gates)
+	c.Gates = append(c.Gates, g)
+}
+
+func (c *Circuit) MarkOutput(id int) { // want invalidation
+	c.Outputs = append(c.Outputs, id)
+}
+
+func (c *Circuit) Retarget(i, id int) { // want invalidation
+	c.Outputs[i] = id
+}
+
+func (c *Circuit) Forget(name string) { // want invalidation
+	delete(c.byName, name)
+}
+
+// rewire is unexported: internal helpers are audited with their
+// exported callers, not flagged on their own.
+func (c *Circuit) rewire(id int, fanin []int) {
+	c.Gates[id].Fanin = fanin
+}
+
+// SetLevel fills a cache field, not a structural one: no finding.
+func (c *Circuit) SetLevel(l []int) { c.level = l }
+
+// Rename touches only the label: no finding.
+func (c *Circuit) Rename(name string) { c.Name = name }

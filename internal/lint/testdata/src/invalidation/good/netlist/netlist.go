@@ -1,0 +1,43 @@
+// Package netlist is the clean invalidation fixture: every exported
+// structural mutator calls invalidate(), so the analyzer must stay
+// silent.
+package netlist
+
+type Gate struct {
+	Name  string
+	Fanin []int
+}
+
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int
+	Outputs []int
+	byName  map[string]int
+
+	level []int
+}
+
+func (c *Circuit) invalidate() { c.level = nil }
+
+func (c *Circuit) AddGate(g Gate) {
+	c.byName[g.Name] = len(c.Gates)
+	c.Gates = append(c.Gates, g)
+	c.invalidate()
+}
+
+func (c *Circuit) MarkOutput(id int) {
+	c.Outputs = append(c.Outputs, id)
+	c.invalidate()
+}
+
+func (c *Circuit) Forget(name string) {
+	delete(c.byName, name)
+	c.invalidate()
+}
+
+// Lookup only reads: no finding.
+func (c *Circuit) Lookup(name string) (int, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}

@@ -1,0 +1,18 @@
+// Package bad is the registry fixture: direct circuit construction
+// from netlist generators outside internal/circuits, every call of
+// which must be reported.
+package bad
+
+import "repro/internal/netlist"
+
+func build() *netlist.Circuit {
+	return netlist.C17() // want registry
+}
+
+func buildAdder() (*netlist.Circuit, error) {
+	return netlist.RippleAdder(4) // want registry
+}
+
+func fresh(name string) *netlist.Circuit {
+	return netlist.New(name) // want registry
+}

@@ -1,0 +1,10 @@
+// Package circuits is the registry fixture's exemption case: its
+// directory suffix matches internal/circuits — the registry itself —
+// where direct construction is the whole point.
+package circuits
+
+import "repro/internal/netlist"
+
+func build() *netlist.Circuit {
+	return netlist.C17()
+}

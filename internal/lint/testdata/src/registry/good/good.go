@@ -1,0 +1,16 @@
+// Package good is the clean registry fixture: operating on an existing
+// circuit through methods and non-constructor netlist functions is
+// allowed everywhere.
+package good
+
+import "repro/internal/netlist"
+
+func courtesy(c *netlist.Circuit) error {
+	return c.Validate()
+}
+
+func trip(c *netlist.Circuit) (*netlist.Circuit, error) {
+	// RoundTrip is a method: it canonicalizes an existing circuit
+	// rather than resolving a spec, so it is not a registry bypass.
+	return c.RoundTrip()
+}

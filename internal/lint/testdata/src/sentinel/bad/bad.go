@@ -1,0 +1,26 @@
+// Package bad is the sentinel-errors fixture: a formatted sentinel and
+// %v-wrapped errors, each of which must be reported.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrFormatted = fmt.Errorf("bad: %d", 42) // want sentinel-errors
+
+var ErrComposed = errors.Join(errors.New("a"), errors.New("b")) // want sentinel-errors
+
+var ErrFine = errors.New("fine")
+
+func wrapV(err error) error {
+	return fmt.Errorf("loading: %v", err) // want sentinel-errors
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("loading: %s", err) // want sentinel-errors
+}
+
+func wrapSecond(path string, err error) error {
+	return fmt.Errorf("%s: %w: %v", path, ErrFine, err) // want sentinel-errors
+}

@@ -1,0 +1,28 @@
+// Package good is the clean sentinel-errors fixture: errors.New
+// sentinels, %w wraps (including the multi-%w form), and the explicit
+// .Error() flattening idiom — the analyzer must stay silent.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("corrupt")
+
+// Only exported Err* names are sentinels; unexported error values may
+// be built however is convenient.
+var errUnexported = fmt.Errorf("unexported values may format")
+
+func wrap(path string, err error) error {
+	return fmt.Errorf("%s: %w: %w", path, ErrCorrupt, err)
+}
+
+func flatten(err error) error {
+	// Deliberately severing the chain is spelled .Error().
+	return fmt.Errorf("summary: %s", err.Error())
+}
+
+func plain(n int) error {
+	return fmt.Errorf("n = %d", n)
+}

@@ -250,6 +250,8 @@ func (s *FlatSim) Flat() *Flat { return s.f }
 // out (reusing its capacity): the allocation-free counterpart of
 // Simulator.Run. Passing out with capacity >= the output count makes
 // the steady state zero-alloc.
+//
+//repolint:hotpath
 func (s *FlatSim) RunInto(block PatternBlock, out []uint64) ([]uint64, error) {
 	f := s.f
 	if err := block.validate(f.numIn); err != nil {
@@ -270,6 +272,8 @@ func (s *FlatSim) Value(slot int) uint64 { return s.val[slot] }
 
 // walk is the flat hot loop: one linear pass over the logic slots, a
 // single op switch per gate, contiguous fanin indices.
+//
+//repolint:hotpath
 func (s *FlatSim) walk() {
 	f := s.f
 	val, fanin, faninAt := s.val, f.fanin, f.faninAt

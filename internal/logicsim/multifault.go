@@ -158,15 +158,17 @@ func (s *Simulator) RunWithFaultsInto(block PatternBlock, faults []Injection, ou
 //
 // This is the chip-parallel lot engine's inner loop: one walk per
 // pattern evaluates the good machine plus up to 63 defective chips.
+//
+//repolint:hotpath
 func (s *Simulator) RunLaneForced(block PatternBlock, p int, forces *LaneForces, out []uint64) ([]uint64, error) {
 	if err := block.validate(len(s.c.Inputs)); err != nil {
 		return nil, err
 	}
 	if p < 0 || p >= block.Count {
-		return nil, fmt.Errorf("logicsim: pattern %d outside block of %d", p, block.Count)
+		return nil, errPatternRange(p, block.Count)
 	}
 	if forces.c != s.c {
-		return nil, fmt.Errorf("logicsim: forcing table built for a different circuit")
+		return nil, errForeignForces()
 	}
 	for i, id := range s.c.Inputs {
 		// Broadcast bit p across all 64 lanes, then force.
@@ -180,7 +182,20 @@ func (s *Simulator) RunLaneForced(block PatternBlock, p int, forces *LaneForces,
 	return out, nil
 }
 
+// errPatternRange and errForeignForces build RunLaneForced's
+// validation errors outside the annotated hot functions, so the
+// formatting machinery stays off the hot path.
+func errPatternRange(p, count int) error {
+	return fmt.Errorf("logicsim: pattern %d outside block of %d", p, count)
+}
+
+func errForeignForces() error {
+	return fmt.Errorf("logicsim: forcing table built for a different circuit")
+}
+
 // forceWord applies the gate's stem masks to a value word, if any.
+//
+//repolint:hotpath
 func (lf *LaneForces) forceWord(id int, v uint64) uint64 {
 	if lf.mark[id] == lf.epoch {
 		if care := lf.stemCare[id]; care != 0 {
@@ -193,6 +208,8 @@ func (lf *LaneForces) forceWord(id int, v uint64) uint64 {
 // runForced is the shared forced-evaluation walk: inputs are already
 // loaded (and stem-forced) in s.val; every other gate evaluates with
 // its pin forces staged and its stem force overwriting the result.
+//
+//repolint:hotpath
 func (s *Simulator) runForced(lf *LaneForces) {
 	for _, id := range s.order {
 		g := &s.c.Gates[id]
@@ -221,6 +238,8 @@ func (s *Simulator) runForced(lf *LaneForces) {
 // runs for a large fraction of gates per walk: the ubiquitous 1- and
 // 2-input shapes are evaluated inline, and only wider gates pay the
 // staged EvalWords path.
+//
+//repolint:hotpath
 func evalWithLanePins(t netlist.GateType, fanin []int, val []uint64, pins []pinLane) uint64 {
 	switch len(fanin) {
 	case 1:

@@ -278,16 +278,18 @@ func (s *WideSim) RunInto(block WidePatternBlock, out []uint64) ([]uint64, error
 // appended stride-packed to out (reused when capacity allows) in
 // primary-output order: the wide counterpart of
 // Simulator.RunLaneForced.
+//
+//repolint:hotpath
 func (s *WideSim) RunLaneForced(block PatternBlock, p int, lf *WideLaneForces, out []uint64) ([]uint64, error) {
 	f := s.f
 	if err := block.validate(f.numIn); err != nil {
 		return nil, err
 	}
 	if p < 0 || p >= block.Count {
-		return nil, fmt.Errorf("logicsim: pattern %d outside block of %d", p, block.Count)
+		return nil, errPatternRange(p, block.Count)
 	}
 	if lf.f != f || lf.words != s.words {
-		return nil, fmt.Errorf("logicsim: forcing table shape (%d words) does not match simulator", lf.words)
+		return nil, errForcesShape(lf.words)
 	}
 	w := s.words
 	for i := 0; i < f.numIn; i++ {
@@ -354,8 +356,16 @@ func (s *WideSim) appendOutputs(out []uint64) []uint64 {
 	return out
 }
 
+// errForcesShape builds RunLaneForced's shape-mismatch error outside
+// the annotated hot function, keeping fmt off the hot path.
+func errForcesShape(words int) error {
+	return fmt.Errorf("logicsim: forcing table shape (%d words) does not match simulator", words)
+}
+
 // walkForced is the wide hot loop: one linear pass over the logic
 // slots; lf == nil walks unforced.
+//
+//repolint:hotpath
 func (s *WideSim) walkForced(lf *WideLaneForces) {
 	f := s.f
 	for slot := f.numIn; slot < len(f.op); slot++ {
@@ -368,6 +378,8 @@ func (s *WideSim) walkForced(lf *WideLaneForces) {
 // to the result. The 4-word width the shipped engines run at gets a
 // specialized kernel (wide4.go) with fixed-size array ops; every other
 // width takes the stride loops below.
+//
+//repolint:hotpath
 func (s *WideSim) evalForcedSlot(slot int, lf *WideLaneForces) {
 	if s.words == 4 {
 		s.evalForcedSlot4(slot, lf)
@@ -392,6 +404,8 @@ func (s *WideSim) evalForcedSlot(slot int, lf *WideLaneForces) {
 
 // evalSlot is the unforced wide gate evaluation: a single op switch,
 // word loops over the stride-packed fanin blocks.
+//
+//repolint:hotpath
 func (s *WideSim) evalSlot(slot int, dst []uint64) {
 	f := s.f
 	w := s.words

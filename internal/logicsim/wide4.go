@@ -15,6 +15,8 @@ func (s *WideSim) block4(slot int) *[4]uint64 {
 }
 
 // evalForcedSlot4 is evalForcedSlot at words == 4.
+//
+//repolint:hotpath
 func (s *WideSim) evalForcedSlot4(slot int, lf *WideLaneForces) {
 	dst := s.block4(slot)
 	if lf.forced(slot) {
@@ -37,6 +39,8 @@ func (s *WideSim) evalForcedSlot4(slot int, lf *WideLaneForces) {
 
 // evalSlot4 is the unforced gate evaluation at words == 4: one op
 // switch, unrolled fixed-size word ops.
+//
+//repolint:hotpath
 func (s *WideSim) evalSlot4(slot int, dst *[4]uint64) {
 	f := s.f
 	val, fanin := s.val, f.fanin

@@ -291,6 +291,7 @@ func (s *Sweeper) RunShard(sh campaign.Shard, opts RunOptions) (*campaign.ShardR
 			Complete: len(have) == owned,
 			Summaries: func() []campaign.TaskSummary {
 				out := make([]campaign.TaskSummary, 0, len(have))
+				//repolint:ordered — SortSummaries below canonicalizes before anything is written
 				for t, sum := range have {
 					out = append(out, campaign.TaskSummary{Task: t, Summary: sum})
 				}
