@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke lint cover bench bench-json golden race sweep-smoke sweepd-smoke
+.PHONY: verify build vet test smoke lint cover bench bench-json bench-compare golden race sweep-smoke sweepd-smoke
 
 # Tier-1 verification plus vet and repolint: what CI runs.
 verify: build vet lint test smoke
@@ -39,13 +39,20 @@ bench:
 
 # Persisted engine-matrix benchmark: runs the two engine suites and
 # writes chips/s and fault-patterns/s per engine×circuit to
-# BENCH_PR6.json (schema documented in cmd/benchjson). CI archives the
+# BENCH_PR9.json (schema documented in cmd/benchjson). CI archives the
 # file as a build artifact, so the BENCH trajectory is no longer
 # ephemeral terminal scrollback.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkLotEngines' -benchtime 40x . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
+
+# Soft regression gate over the persisted matrix: compares the fresh
+# BENCH_PR9.json against the checked-in PR6 baseline and fails only on
+# a >25% fault-patterns/s slide in the engines suite (lot-engines and
+# smaller slips print as warnings — CI runners are noisy).
+bench-compare:
+	$(GO) run ./cmd/benchjson -in BENCH_PR9.json -baseline BENCH_PR6.json -fail-over 25
 
 # Golden guard: the paper-number fixtures (sweep CSV, dist sample
 # sequences) must stay byte-identical across engine ports. CI fails the

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	row, ok := parseLine("BenchmarkEngines/pf256/mul8-4 \t 30\t   1885999 ns/op\t         5.547 ns/fault-pattern")
@@ -37,5 +45,78 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("line accepted: %q", line)
 		}
+	}
+}
+
+func report(rows ...Row) Report { return Report{Schema: "bench/v1", Rows: rows} }
+
+func engines(engine, circuit string, fps float64) Row {
+	return Row{Suite: "engines", Engine: engine, Circuit: circuit, FaultPatternsPerSec: fps}
+}
+
+func TestCompareBudget(t *testing.T) {
+	base := report(
+		engines("ppsfp", "mul8", 1000),
+		engines("serial", "mul8", 500),
+		Row{Suite: "lot-engines", Engine: "chip-parallel", Circuit: "cmp16", ChipsPerSec: 4e6},
+		engines("retired", "mul8", 100),
+	)
+	cur := report(
+		engines("ppsfp", "mul8", 1500), // +50%: fine
+		engines("serial", "mul8", 300), // -40%: over a 25% budget
+		Row{Suite: "lot-engines", Engine: "chip-parallel", Circuit: "cmp16", ChipsPerSec: 1e6}, // -75%, but not engines suite
+		engines("fresh", "mul8", 100), // new row, never fails
+	)
+	var buf bytes.Buffer
+	worst, err := compare(&buf, base, cur, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 39.9 || worst > 40.1 {
+		t.Errorf("worst regression = %g%%, want ~40%%", worst)
+	}
+	out := buf.String()
+	for _, want := range []string{"+50.0%", "-40.0%", "over budget", "new", "gone", "-75.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The lot-engines slide must not be marked over budget.
+	if strings.Count(out, "over budget") != 1 {
+		t.Errorf("want exactly one over-budget mark:\n%s", out)
+	}
+
+	// Within budget (or budget disabled), worst stays zero.
+	if worst, err := compare(io.Discard, base, cur, 50); err != nil || worst != 0 {
+		t.Errorf("50%% budget: worst=%g err=%v, want 0", worst, err)
+	}
+	if worst, err := compare(io.Discard, base, cur, 0); err != nil || worst != 0 {
+		t.Errorf("disabled budget: worst=%g err=%v, want 0", worst, err)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := report(engines("ppsfp", "mul8", 1e8), Row{Suite: "lot-engines", Engine: "pf256", Circuit: "dec6", ChipsPerSec: 2e6})
+	if err := writeReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v want %+v", got, want)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"bench/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(bad); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := readReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
 	}
 }

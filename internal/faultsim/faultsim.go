@@ -4,18 +4,20 @@
 // fault dropping, first-detect bookkeeping — and differ only in how
 // they spend the machine word:
 //
-//   - Serial: one fault at a time, full-circuit re-simulation, no fault
-//     dropping — the classic baseline and the reference the other
-//     engines are cross-checked against;
+//   - Serial: one fault at a time, full-circuit re-simulation as a
+//     scalar flat walk, no fault dropping — the classic baseline and
+//     the reference the other engines are cross-checked against;
 //   - PPSFP: parallel-pattern single-fault propagation with fault
-//     dropping, restricted to each fault's output cone — the workhorse
-//     used by the experiments;
+//     dropping, restricted to each fault's slot cone over the flat
+//     core (logicsim.FlatSim + FlatConeSet) — the workhorse used by
+//     the experiments;
 //   - Deductive: per-pattern fault-list propagation (one pass computes
 //     every fault's detectability for that pattern);
 //   - FaultParallel (PF): the good machine plus up to 63 faulty
 //     machines packed into the 64 bit-lanes of one word per pattern,
 //     evaluated over the union of the faults' output cones;
-//   - Concurrent: cone-restricted PPSFP sharded over a goroutine pool;
+//   - Concurrent: cone-restricted flat PPSFP sharded over a goroutine
+//     pool;
 //   - FaultParallel256 (pf256): the PF layout widened to 4-word lane
 //     blocks (good machine + 255 faulty machines) over the flat
 //     struct-of-arrays core (logicsim.Flat/WideSim).
@@ -173,8 +175,10 @@ func RunOpts(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Patte
 
 // session carries the state every engine shares: the circuit, the fault
 // list, lazily packed 64-pattern blocks with their good-machine
-// outputs, a lazily built cone set, and the first-detect array the
-// engines fill in.
+// outputs, the lazily built flat form with its slot cones, and the
+// first-detect array the engines fill in. The pointer-walking simulator
+// and gate cones remain for the engines that still consume them
+// (deductive, pf); everything parallel-pattern runs flat.
 type session struct {
 	c        *netlist.Circuit
 	faults   []fault.Fault
@@ -184,6 +188,9 @@ type session struct {
 
 	sim        *logicsim.Simulator
 	cones      *logicsim.ConeSet
+	flat       *logicsim.Flat
+	flatCones  *logicsim.FlatConeSet
+	fsim       *logicsim.FlatSim
 	blocks     []block
 	blocksGood bool // block.good filled in
 }
@@ -240,6 +247,49 @@ func (s *session) coneSet() (*logicsim.ConeSet, error) {
 	return s.cones, nil
 }
 
+// flatCircuit returns the circuit's flat compiled form, built on first
+// use and cached on the circuit across sessions. The form is immutable
+// and shared across workers.
+func (s *session) flatCircuit() (*logicsim.Flat, error) {
+	if s.flat == nil {
+		f, err := logicsim.FlatFor(s.c)
+		if err != nil {
+			return nil, err
+		}
+		s.flat = f
+	}
+	return s.flat, nil
+}
+
+// flatSim returns the session's flat walk state, creating it on first
+// use. Engines that spawn goroutines create their own per-worker
+// FlatSims over the shared Flat instead (FlatSim is not safe for
+// concurrent use).
+func (s *session) flatSim() (*logicsim.FlatSim, error) {
+	if s.fsim == nil {
+		f, err := s.flatCircuit()
+		if err != nil {
+			return nil, err
+		}
+		s.fsim = logicsim.NewFlatSim(f)
+	}
+	return s.fsim, nil
+}
+
+// flatConeSet returns the circuit's slot cones, built on first use and
+// cached on the circuit across sessions. The set is immutable and
+// shared across workers.
+func (s *session) flatConeSet() (*logicsim.FlatConeSet, error) {
+	if s.flatCones == nil {
+		cs, err := logicsim.FlatConeSetFor(s.c)
+		if err != nil {
+			return nil, err
+		}
+		s.flatCones = cs
+	}
+	return s.flatCones, nil
+}
+
 // packBlocks packs the pattern sequence into 64-wide blocks, once per
 // session. needGood additionally records each block's good-machine
 // primary-output words — only the full-circuit diff path reads them;
@@ -260,12 +310,12 @@ func (s *session) packBlocks(needGood bool) ([]block, error) {
 		}
 	}
 	if needGood && !s.blocksGood {
-		sim, err := s.simulator()
+		fsim, err := s.flatSim()
 		if err != nil {
 			return nil, err
 		}
 		for i := range s.blocks {
-			good, err := sim.Run(s.blocks[i].pat)
+			good, err := fsim.RunInto(s.blocks[i].pat, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -12,10 +12,10 @@ import (
 
 // RunConcurrent is cone-restricted PPSFP distributed over a goroutine
 // pool: the fault list is sharded across workers, each with its own
-// simulator (the levelized simulator is not safe for concurrent use)
-// but sharing the packed blocks and the immutable cone set. Results are
-// identical to the serial engines; only wall-clock changes. workers <=
-// 0 selects GOMAXPROCS.
+// flat walk state (FlatSim is not safe for concurrent use) but sharing
+// the packed blocks, the immutable flat circuit, and its slot cones.
+// Results are identical to the serial engines; only wall-clock changes.
+// workers <= 0 selects GOMAXPROCS.
 func RunConcurrent(c *netlist.Circuit, faults []fault.Fault, patterns []logicsim.Pattern, workers int) (Result, error) {
 	return RunOpts(c, faults, patterns, Concurrent, Options{Workers: workers})
 }
@@ -38,10 +38,15 @@ func runConcurrent(s *session) error {
 	if err != nil {
 		return err
 	}
-	cone := !s.opt.FullCircuit
-	var cones *logicsim.ConeSet
-	if cone {
-		if cones, err = s.coneSet(); err != nil {
+	flat, err := s.flatCircuit()
+	if err != nil {
+		return err
+	}
+	var cones *logicsim.FlatConeSet
+	if !s.opt.FullCircuit {
+		// Resolved before the workers spawn; the set and its cones are
+		// immutable and shared read-only across the pool.
+		if cones, err = s.flatConeSet(); err != nil {
 			return err
 		}
 	}
@@ -63,11 +68,8 @@ func runConcurrent(s *session) error {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			sim, err := logicsim.NewSimulator(s.c)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
+			fsim := logicsim.NewFlatSim(flat)
+			var scratch []uint64
 			for bi := range blocks {
 				b := &blocks[bi]
 				ran := false // good machine not yet established for this block
@@ -76,17 +78,20 @@ func runConcurrent(s *session) error {
 						continue
 					}
 					if cones != nil && !ran {
-						if _, err := sim.Run(b.pat); err != nil {
-							errOnce.Do(func() { firstErr = err })
+						out, werr := fsim.RunInto(b.pat, scratch)
+						if werr != nil {
+							errOnce.Do(func() { firstErr = werr })
 							return
 						}
+						scratch = out
 						ran = true
 					}
-					diff, err := s.diffFault(sim, cones, b, fi)
-					if err != nil {
-						errOnce.Do(func() { firstErr = err })
+					diff, out, werr := s.diffFault(fsim, cones, b, fi, scratch)
+					if werr != nil {
+						errOnce.Do(func() { firstErr = werr })
 						return
 					}
+					scratch = out
 					if diff != 0 {
 						s.detect(fi, b.base+bits.TrailingZeros64(diff))
 					}

@@ -6,52 +6,74 @@ import (
 	"repro/internal/logicsim"
 )
 
-// diffFault simulates fault fi against one block and returns the word
-// whose bit p is set iff pattern p of the block detects the fault.
-// With cones non-nil the pass is cone-restricted, and the simulator
-// must already hold the block's good-machine values (RunWithFaultCone
-// restores them, so consecutive calls share one good evaluation); with
-// cones nil it is the full-circuit reference path diffing the stored
-// good outputs. This is the single copy of the diff-and-detect rule
-// every parallel-pattern engine (serial, ppsfp, concurrent) runs on.
-func (s *session) diffFault(sim *logicsim.Simulator, cones *logicsim.ConeSet, b *block, fi int) (uint64, error) {
+// diffFault simulates fault fi against one block on the flat core and
+// returns the word whose bit p is set iff pattern p of the block
+// detects the fault, plus the (possibly regrown) output scratch slice.
+// With cones non-nil the pass is cone-restricted — only the fault's
+// slot cone is re-evaluated, with activation early-exit — and the flat
+// simulator must already hold the block's good-machine values (the cone
+// walks restore them, so consecutive calls share one good evaluation).
+// With cones nil it is the full-circuit reference path: a scalar flat
+// walk with the fault injected, diffed against the stored good outputs.
+// This is the single copy of the diff-and-detect rule every
+// parallel-pattern engine (serial, ppsfp, concurrent) runs on.
+//
+//repolint:hotpath
+func (s *session) diffFault(fsim *logicsim.FlatSim, cones *logicsim.FlatConeSet, b *block, fi int, scratch []uint64) (uint64, []uint64, error) {
 	f := s.faults[fi]
 	if cones != nil {
-		return sim.RunWithFaultCone(f.Gate, f.Pin, f.Stuck, cones.Cone(f.Gate), nil)
+		// The cone is borrowed from the set (ConeOfPtr): no FlatCone copy
+		// on this per-(fault, block) path, and the gate-to-slot map is a
+		// plain array lookup.
+		var (
+			diff uint64
+			err  error
+		)
+		slot := fsim.Flat().SlotOf(f.Gate)
+		cone := cones.ConeOfPtr(slot)
+		if f.Pin < 0 {
+			diff, err = fsim.RunCone(slot, f.Stuck, cone, nil)
+		} else {
+			diff, err = fsim.RunConeForced(slot, f.Pin, f.Stuck, cone, nil)
+		}
+		return diff, scratch, err
 	}
-	bad, err := sim.RunWithFault(b.pat, f.Gate, f.Pin, f.Stuck)
+	slot := fsim.Flat().SlotOf(f.Gate)
+	bad, err := fsim.RunWithFaultInto(b.pat, slot, f.Pin, f.Stuck, scratch)
 	if err != nil {
-		return 0, err
+		return 0, scratch, err
 	}
 	mask := b.pat.Mask()
 	var diff uint64
 	for o := range bad {
 		diff |= (bad[o] ^ b.good[o]) & mask
 	}
-	return diff, nil
+	return diff, bad, nil
 }
 
-// runParallelPattern is the parallel-pattern engine family: 64 patterns
-// per machine word, one fault injected at a time. drop skips faults
-// already detected in earlier blocks (PPSFP fault dropping; without it
-// every fault meets every block, the serial baseline). cone restricts
-// each faulty pass to the fault's output cone on top of the block's
-// good-machine values instead of re-evaluating the whole circuit.
+// runParallelPattern is the parallel-pattern engine family over the
+// flat core: 64 patterns per machine word, one fault injected at a
+// time. drop skips faults already detected in earlier blocks (PPSFP
+// fault dropping; without it every fault meets every block, the serial
+// baseline). cone restricts each faulty pass to the fault's slot cone
+// on top of the block's good-machine values instead of re-walking the
+// whole circuit.
 func (s *session) runParallelPattern(drop, cone bool) error {
 	blocks, err := s.packBlocks(!cone)
 	if err != nil {
 		return err
 	}
-	sim, err := s.simulator()
+	fsim, err := s.flatSim()
 	if err != nil {
 		return err
 	}
-	var cones *logicsim.ConeSet
+	var cones *logicsim.FlatConeSet
 	if cone {
-		if cones, err = s.coneSet(); err != nil {
+		if cones, err = s.flatConeSet(); err != nil {
 			return err
 		}
 	}
+	var scratch []uint64
 	for bi := range blocks {
 		b := &blocks[bi]
 		if drop && !s.anyAlive() {
@@ -61,7 +83,7 @@ func (s *session) runParallelPattern(drop, cone bool) error {
 			// (Re-)establish the good machine for this block; the cone
 			// runs save and restore it, so one evaluation serves every
 			// surviving fault.
-			if _, err := sim.Run(b.pat); err != nil {
+			if scratch, err = fsim.RunInto(b.pat, scratch); err != nil {
 				return err
 			}
 		}
@@ -69,7 +91,8 @@ func (s *session) runParallelPattern(drop, cone bool) error {
 			if drop && !s.alive(fi) {
 				continue
 			}
-			diff, err := s.diffFault(sim, cones, b, fi)
+			var diff uint64
+			diff, scratch, err = s.diffFault(fsim, cones, b, fi, scratch)
 			if err != nil {
 				return err
 			}

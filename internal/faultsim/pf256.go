@@ -28,11 +28,11 @@ func runFaultParallel256(s *session) error {
 	if err != nil {
 		return err
 	}
-	flat, err := logicsim.FlatFor(s.c)
+	flat, err := s.flatCircuit()
 	if err != nil {
 		return err
 	}
-	cones, err := s.coneSet()
+	cones, err := s.flatConeSet()
 	if err != nil {
 		return err
 	}
@@ -117,7 +117,7 @@ type pf256State struct {
 
 // pf256Group simulates one group of up to 255 live faults against one
 // block, lane i+1 carrying group[i].
-func (s *session) pf256Group(good *logicsim.FlatSim, flat *logicsim.Flat, cones *logicsim.ConeSet, b *block, group []int, st *pf256State) error {
+func (s *session) pf256Group(good *logicsim.FlatSim, flat *logicsim.Flat, cones *logicsim.FlatConeSet, b *block, group []int, st *pf256State) error {
 	st.gid++
 	gid := st.gid
 	st.lf.Reset()
@@ -127,9 +127,10 @@ func (s *session) pf256Group(good *logicsim.FlatSim, flat *logicsim.Flat, cones 
 		if err := st.lf.Add(logicsim.Injection{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}, i+1); err != nil {
 			return err
 		}
-		cone := cones.Cone(f.Gate)
-		for _, g := range cone.Gates {
-			slot := int32(flat.SlotOf(g))
+		// Slot cones are already slot lists — the union build borrows
+		// them straight from the set, with no FlatCone copy.
+		cone := cones.ConeOfPtr(flat.SlotOf(f.Gate))
+		for _, slot := range cone.Slots {
 			if st.inCone[slot] != gid {
 				st.inCone[slot] = gid
 				union = append(union, slot)
@@ -138,7 +139,7 @@ func (s *session) pf256Group(good *logicsim.FlatSim, flat *logicsim.Flat, cones 
 		for _, oi := range cone.Outputs {
 			if st.outMark[oi] != gid {
 				st.outMark[oi] = gid
-				outs = append(outs, oi)
+				outs = append(outs, int(oi))
 			}
 		}
 	}

@@ -234,8 +234,14 @@ func (f *Flat) OutputSlot(oi int) int { return int(f.outSlot[oi]) }
 // slot, reused across runs. Like Simulator it is not safe for
 // concurrent use; create one per goroutine over the shared Flat.
 type FlatSim struct {
-	f   *Flat
-	val []uint64
+	f    *Flat
+	val  []uint64
+	mask uint64 // valid-pattern mask of the last RunInto block
+	// Cone-walk scratch (see coneWalk): the slot-indexed shadow value
+	// plane the faulty values propagate through, allocated on the first
+	// cone walk and kept warm. The good machine in val is never mutated
+	// by a cone walk, so there is nothing to save or restore.
+	shadow []uint64
 }
 
 // NewFlatSim allocates walk state for the flat circuit.
@@ -257,8 +263,61 @@ func (s *FlatSim) RunInto(block PatternBlock, out []uint64) ([]uint64, error) {
 	if err := block.validate(f.numIn); err != nil {
 		return nil, err
 	}
+	s.mask = block.Mask()
 	copy(s.val[:f.numIn], block.Inputs)
-	s.walk()
+	s.walkRange(f.numIn, len(f.op))
+	out = out[:0]
+	for _, os := range f.outSlot {
+		out = append(out, s.val[os])
+	}
+	return out, nil
+}
+
+// RunWithFaultInto simulates the block with a single stuck-at fault
+// injected and appends the primary-output words to out (reusing its
+// capacity): the scalar flat counterpart of Simulator.RunWithFaultInto,
+// and the walk behind the faultsim Serial baseline. slot is the fault
+// site's slot; pin < 0 is a stem fault on the slot's output, pin >= 0
+// forces that input pin during the slot's evaluation only.
+//
+//repolint:hotpath
+func (s *FlatSim) RunWithFaultInto(block PatternBlock, slot, pin int, stuck bool, out []uint64) ([]uint64, error) {
+	f := s.f
+	if err := block.validate(f.numIn); err != nil {
+		return nil, err
+	}
+	if slot < 0 || slot >= len(f.op) {
+		return nil, errSlotRange(slot)
+	}
+	var stuckWord uint64
+	if stuck {
+		stuckWord = ^uint64(0)
+	}
+	s.mask = block.Mask()
+	copy(s.val[:f.numIn], block.Inputs)
+	switch {
+	case slot < f.numIn:
+		// A fault on a primary input: stem forces the input word itself;
+		// a pin fault is impossible (inputs have no fanin).
+		if pin >= 0 {
+			return nil, errNoPin(slot, pin)
+		}
+		s.val[slot] = stuckWord
+		s.walkRange(f.numIn, len(f.op))
+	case pin < 0:
+		// Stem fault on a logic slot: walk up to the site, overwrite its
+		// output, walk the rest.
+		s.walkRange(f.numIn, slot)
+		s.val[slot] = stuckWord
+		s.walkRange(slot+1, len(f.op))
+	default:
+		if int32(pin) >= f.faninAt[slot+1]-f.faninAt[slot] {
+			return nil, errNoPin(slot, pin)
+		}
+		s.walkRange(f.numIn, slot)
+		s.val[slot] = s.evalForcedPin(slot, pin, stuckWord)
+		s.walkRange(slot+1, len(f.op))
+	}
 	out = out[:0]
 	for _, os := range f.outSlot {
 		out = append(out, s.val[os])
@@ -270,35 +329,37 @@ func (s *FlatSim) RunInto(block PatternBlock, out []uint64) ([]uint64, error) {
 // engine reads good-machine frontier values through it.
 func (s *FlatSim) Value(slot int) uint64 { return s.val[slot] }
 
-// walk is the flat hot loop: one linear pass over the logic slots, a
-// single op switch per gate, contiguous fanin indices.
+// walkRange is the flat hot loop: one linear pass over the logic slots
+// in [lo, hi), a single op switch per gate, contiguous fanin indices.
+// Full runs walk [numIn, Slots); the fault-injecting walk splits the
+// range around the fault site.
 //
 //repolint:hotpath
-func (s *FlatSim) walk() {
+func (s *FlatSim) walkRange(lo, hi int) {
 	f := s.f
 	val, fanin, faninAt := s.val, f.fanin, f.faninAt
-	for slot := f.numIn; slot < len(f.op); slot++ {
-		lo := faninAt[slot]
+	for slot := lo; slot < hi; slot++ {
+		fa := faninAt[slot]
 		var v uint64
 		switch f.op[slot] {
 		case opBuf:
-			v = val[fanin[lo]]
+			v = val[fanin[fa]]
 		case opNot:
-			v = ^val[fanin[lo]]
+			v = ^val[fanin[fa]]
 		case opAnd2:
-			v = val[fanin[lo]] & val[fanin[lo+1]]
+			v = val[fanin[fa]] & val[fanin[fa+1]]
 		case opNand2:
-			v = ^(val[fanin[lo]] & val[fanin[lo+1]])
+			v = ^(val[fanin[fa]] & val[fanin[fa+1]])
 		case opOr2:
-			v = val[fanin[lo]] | val[fanin[lo+1]]
+			v = val[fanin[fa]] | val[fanin[fa+1]]
 		case opNor2:
-			v = ^(val[fanin[lo]] | val[fanin[lo+1]])
+			v = ^(val[fanin[fa]] | val[fanin[fa+1]])
 		case opXor2:
-			v = val[fanin[lo]] ^ val[fanin[lo+1]]
+			v = val[fanin[fa]] ^ val[fanin[fa+1]]
 		case opXnor2:
-			v = ^(val[fanin[lo]] ^ val[fanin[lo+1]])
+			v = ^(val[fanin[fa]] ^ val[fanin[fa+1]])
 		default:
-			v = evalFlatN(f.op[slot], fanin[lo:faninAt[slot+1]], val)
+			v = evalFlatN(f.op[slot], fanin[fa:faninAt[slot+1]], val)
 		}
 		val[slot] = v
 	}
@@ -336,12 +397,13 @@ func evalFlatN(op uint8, fanin []int32, val []uint64) uint64 {
 }
 
 // simCaches bundles every simulator-derived precomputation that hangs
-// off a circuit's SimCache slot — the per-gate output cones and the
-// flat compiled form share one cache object so they share one
-// invalidation rule: any circuit mutation drops both.
+// off a circuit's SimCache slot — the per-gate output cones, the flat
+// compiled form, and the flat slot cones share one cache object so they
+// share one invalidation rule: any circuit mutation drops all three.
 type simCaches struct {
-	cones *ConeSet
-	flat  *Flat
+	cones     *ConeSet
+	flat      *Flat
+	flatCones *FlatConeSet
 }
 
 // cacheMu serializes the lazy cache builds (FlatFor, ConeSetFor): the

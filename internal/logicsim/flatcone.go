@@ -1,0 +1,520 @@
+package logicsim
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/netlist"
+)
+
+// FlatCone is the output cone of a fault site in slot space: every slot
+// the site can disturb, as a sorted list of slot indices. Because slot
+// order is topological, the ascending list is itself a valid evaluation
+// order and the site is always first (everything else is a strict
+// successor, hence a higher slot). This is the flat counterpart of
+// Cone: where Cone carries gate IDs that each walk must chase through
+// netlist.Gate structs, a FlatCone is consumed directly by the flat
+// walks — no per-gate lookups, no level sorts.
+type FlatCone struct {
+	// Slots lists the cone in ascending (= topological) slot order; the
+	// site's slot is Slots[0].
+	Slots []int32
+	// Outputs lists the indices into Circuit.Outputs (not slots) of the
+	// primary outputs reachable from the site, ascending.
+	Outputs []int32
+	// OutPos[j] is the position within Slots of the slot driving
+	// Outputs[j], so diffing needs no per-output lookup.
+	OutPos []int32
+	// Prog is the cone compiled to a flat instruction stream, one record
+	// per slot of Slots[1:]. A 1- or 2-input gate is a fixed four-word
+	// record [op, dst, a, b] (1-input gates duplicate their operand);
+	// a wider gate is [op | fanin-count<<8, dst, operands...]. dst and
+	// the operands are slot indices. The walk decodes the stream
+	// sequentially instead of chasing the op/faninAt/fanin arrays slot
+	// by slot — three data-dependent loads per gate become one
+	// prefetchable stream — and the fixed shape lets one length test
+	// per record stand in for four bounds checks (see coneWalk).
+	Prog []int32
+	// Bound is the cone's boundary: the distinct out-of-cone slots the
+	// program reads (the fault cannot disturb them), in first-reference
+	// order. The walk copies their good values into its shadow plane up
+	// front, which is what lets its body run entirely on the shadow with
+	// no membership test per operand (see coneWalk).
+	Bound []int32
+}
+
+// FlatConeSet precomputes the output cone of every slot of a flat
+// circuit, stored as flattened ranges over shared arrays (one
+// allocation each, no per-cone slice headers). It is immutable after
+// construction and safe for concurrent readers; it is cached on the
+// circuit beside the Flat and the ConeSet (one simCaches bundle, one
+// invalidation rule).
+type FlatConeSet struct {
+	f      *Flat
+	coneAt []int32 // slot -> offset of its cone in slots; len = slots+1
+	slots  []int32 // concatenated cone slot lists
+	outAt  []int32 // slot -> offset of its outputs in outIdx/outPos
+	outIdx []int32 // concatenated reachable-output index lists
+	outPos []int32 // concatenated within-cone positions, aligned with outIdx
+	progAt []int32 // slot -> offset of its instruction stream in prog
+	prog   []int32 // concatenated cone programs (see FlatCone.Prog)
+	bndAt  []int32 // slot -> offset of its boundary list in bnd
+	bnd    []int32 // concatenated boundary slot lists (see FlatCone.Bound)
+	// cones holds every slot's assembled FlatCone view over the arrays
+	// above, so per-fault hot paths borrow a pointer (ConeOfPtr) instead
+	// of copying five slice headers per lookup — and sessions need no
+	// per-fault cone cache of their own, which kept showing up as
+	// allocation and GC write-barrier traffic on short runs.
+	cones []FlatCone
+}
+
+// NewFlatConeSet builds all slot cones of the flat circuit.
+func NewFlatConeSet(f *Flat) (*FlatConeSet, error) {
+	n := f.Slots()
+	// Fanout in slot space, rebuilt from the fanin arrays: count, prefix
+	// sums, fill.
+	cnt := make([]int32, n+1)
+	for _, fs := range f.fanin {
+		cnt[fs+1]++
+	}
+	for s := 0; s < n; s++ {
+		cnt[s+1] += cnt[s]
+	}
+	fanout := make([]int32, len(f.fanin))
+	fill := make([]int32, n)
+	for slot := 0; slot < n; slot++ {
+		for _, fs := range f.fanin[f.faninAt[slot]:f.faninAt[slot+1]] {
+			fanout[cnt[fs]+fill[fs]] = int32(slot)
+			fill[fs]++
+		}
+	}
+	// Per-slot output index (into Circuit.Outputs), -1 when the slot
+	// drives no primary output.
+	outOf := make([]int32, n)
+	for i := range outOf {
+		outOf[i] = -1
+	}
+	for oi, os := range f.outSlot {
+		outOf[os] = int32(oi)
+	}
+	cs := &FlatConeSet{
+		f:      f,
+		coneAt: make([]int32, n+1),
+		outAt:  make([]int32, n+1),
+		progAt: make([]int32, n+1),
+		bndAt:  make([]int32, n+1),
+	}
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	// seen[slot] == site marks a slot as already part of the cone being
+	// compiled — a cone member or an emitted boundary slot.
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	cone := make([]int32, 0, n)
+	for site := 0; site < n; site++ {
+		cone = cone[:0]
+		queue = append(queue[:0], int32(site))
+		mark[site] = int32(site)
+		cone = append(cone, int32(site))
+		for len(queue) > 0 {
+			slot := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, fo := range fanout[cnt[slot]:cnt[slot+1]] {
+				if mark[fo] != int32(site) {
+					mark[fo] = int32(site)
+					cone = append(cone, fo)
+					queue = append(queue, fo)
+				}
+			}
+		}
+		// Ascending slot order is topological, so a plain integer sort
+		// levelizes the cone.
+		slices.Sort(cone)
+		if cone[0] != int32(site) {
+			return nil, fmt.Errorf("logicsim: cone of slot %d does not start at the site (cycle?)", site)
+		}
+		cs.coneAt[site] = int32(len(cs.slots))
+		cs.slots = append(cs.slots, cone...)
+		cs.outAt[site] = int32(len(cs.outIdx))
+		for pos, slot := range cone {
+			if oi := outOf[slot]; oi >= 0 {
+				cs.outIdx = append(cs.outIdx, oi)
+				cs.outPos = append(cs.outPos, int32(pos))
+			}
+		}
+		// Keep Outputs ascending by output index (consumers rely on it to
+		// find the first strobed output), carrying the positions along.
+		sortOutPair(cs.outIdx[cs.outAt[site]:], cs.outPos[cs.outAt[site]:])
+		// Compile the cone body to its instruction stream (see
+		// FlatCone.Prog for the record shapes), collecting the boundary
+		// (distinct out-of-cone fanins) on first reference. 1-input gates
+		// duplicate their operand so every non-wide record is exactly
+		// four words.
+		for _, slot := range cone {
+			seen[slot] = int32(site)
+		}
+		cs.progAt[site] = int32(len(cs.prog))
+		cs.bndAt[site] = int32(len(cs.bnd))
+		for _, slot := range cone[1:] {
+			lo, hi := f.faninAt[slot], f.faninAt[slot+1]
+			op := f.op[slot]
+			if op <= opXnor2 {
+				a := f.fanin[lo]
+				b := a
+				if hi-lo == 2 {
+					b = f.fanin[lo+1]
+				}
+				cs.prog = append(cs.prog, int32(op), slot, a, b)
+				if seen[a] != int32(site) {
+					seen[a] = int32(site)
+					cs.bnd = append(cs.bnd, a)
+				}
+				if seen[b] != int32(site) {
+					seen[b] = int32(site)
+					cs.bnd = append(cs.bnd, b)
+				}
+				continue
+			}
+			cs.prog = append(cs.prog, int32(op)|(hi-lo)<<8, slot)
+			for _, fs := range f.fanin[lo:hi] {
+				if seen[fs] != int32(site) {
+					seen[fs] = int32(site)
+					cs.bnd = append(cs.bnd, fs)
+				}
+				cs.prog = append(cs.prog, fs)
+			}
+		}
+	}
+	cs.coneAt[n] = int32(len(cs.slots))
+	cs.outAt[n] = int32(len(cs.outIdx))
+	cs.progAt[n] = int32(len(cs.prog))
+	cs.bndAt[n] = int32(len(cs.bnd))
+	cs.cones = make([]FlatCone, n)
+	for slot := 0; slot < n; slot++ {
+		cs.cones[slot] = FlatCone{
+			Slots:   cs.slots[cs.coneAt[slot]:cs.coneAt[slot+1]],
+			Outputs: cs.outIdx[cs.outAt[slot]:cs.outAt[slot+1]],
+			OutPos:  cs.outPos[cs.outAt[slot]:cs.outAt[slot+1]],
+			Prog:    cs.prog[cs.progAt[slot]:cs.progAt[slot+1]],
+			Bound:   cs.bnd[cs.bndAt[slot]:cs.bndAt[slot+1]],
+		}
+	}
+	return cs, nil
+}
+
+// sortOutPair sorts the parallel (outIdx, outPos) tails by output index
+// (insertion sort: the lists are tiny — a cone rarely reaches more than
+// a handful of outputs — and almost sorted already).
+func sortOutPair(idx, pos []int32) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			pos[j], pos[j-1] = pos[j-1], pos[j]
+		}
+	}
+}
+
+// FlatConeSetFor returns the circuit's flat cone set, building it (and
+// the Flat underneath, if needed) on first use and caching both on the
+// circuit. Like every lazy circuit cache it is safe for concurrent
+// callers but must not race with mutation.
+func FlatConeSetFor(c *netlist.Circuit) (*FlatConeSet, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	sc := cachesFor(c)
+	if sc.flatCones != nil {
+		return sc.flatCones, nil
+	}
+	if sc.flat == nil {
+		f, err := NewFlat(c)
+		if err != nil {
+			return nil, err
+		}
+		sc.flat = f
+	}
+	cs, err := NewFlatConeSet(sc.flat)
+	if err != nil {
+		return nil, err
+	}
+	sc.flatCones = cs
+	return cs, nil
+}
+
+// Flat returns the compiled form the cones are expressed in.
+func (cs *FlatConeSet) Flat() *Flat { return cs.f }
+
+// ConeOf returns the output cone of the slot. Both stem faults and
+// input-pin faults of a gate disturb the gate's own output first, so
+// one cone serves every fault on the slot's gate. The returned slices
+// alias the set's arrays; callers must not mutate them.
+func (cs *FlatConeSet) ConeOf(slot int) FlatCone {
+	return cs.cones[slot]
+}
+
+// ConeOfPtr is ConeOf for hot loops: it borrows the set's own FlatCone
+// for the slot instead of copying five slice headers per lookup. The
+// pointee is shared and immutable; callers must not mutate it.
+//
+//repolint:hotpath
+func (cs *FlatConeSet) ConeOfPtr(slot int) *FlatCone {
+	return &cs.cones[slot]
+}
+
+// Size reports the total number of (slot, cone) memberships — the same
+// measure ConeSet.Size reports for the pointer cones.
+func (cs *FlatConeSet) Size() int { return len(cs.slots) }
+
+// RunCone re-simulates a single stuck-at *stem* fault on top of the
+// good-machine state left in the simulator by the immediately preceding
+// RunInto: only the fault's cone slots are re-evaluated (into a shadow
+// plane — the good machine is never touched), and only the reachable
+// primary outputs are diffed. An inactive fault — the stuck value
+// equals the good value on every pattern of the block — returns
+// immediately without touching the cone. The flat analogue of
+// Simulator.RunWithFaultCone with pin < 0.
+//
+// The returned word has bit p set iff pattern p of the block produces a
+// different value on some reachable output; if outDiffs is non-nil it
+// must have one slot per primary output, and the entries of every
+// reachable output are overwritten with that output's diff word
+// (unreachable outputs are left untouched — they cannot differ). After
+// the call the simulator again holds the good-machine values, so cone
+// runs for many faults share one good evaluation.
+//
+//repolint:hotpath
+func (s *FlatSim) RunCone(slot int, stuck bool, cone *FlatCone, outDiffs []uint64) (uint64, error) {
+	if err := s.checkCone(slot, cone); err != nil {
+		return 0, err
+	}
+	var v uint64
+	if stuck {
+		v = ^uint64(0)
+	}
+	return s.coneWalk(v, cone, outDiffs), nil
+}
+
+// RunConeForced is RunCone for an *input-pin* fault: input pin `pin` of
+// the slot's gate is forced to the stuck value during the site's
+// evaluation only (the fanout-branch semantics), and the resulting site
+// value propagates through the cone. The flat analogue of
+// Simulator.RunWithFaultCone with pin >= 0.
+//
+//repolint:hotpath
+func (s *FlatSim) RunConeForced(slot, pin int, stuck bool, cone *FlatCone, outDiffs []uint64) (uint64, error) {
+	if err := s.checkCone(slot, cone); err != nil {
+		return 0, err
+	}
+	f := s.f
+	if pin < 0 || int32(pin) >= f.faninAt[slot+1]-f.faninAt[slot] {
+		return 0, errNoPin(slot, pin)
+	}
+	var stuckWord uint64
+	if stuck {
+		stuckWord = ^uint64(0)
+	}
+	return s.coneWalk(s.evalForcedPin(slot, pin, stuckWord), cone, outDiffs), nil
+}
+
+// checkCone validates the cone-walk preconditions shared by RunCone and
+// RunConeForced.
+//
+//repolint:hotpath
+func (s *FlatSim) checkCone(slot int, cone *FlatCone) error {
+	if slot < 0 || slot >= len(s.f.op) {
+		return errSlotRange(slot)
+	}
+	if len(cone.Slots) == 0 || cone.Slots[0] != int32(slot) {
+		return errConeSite(slot)
+	}
+	if len(cone.Slots) > 1 && len(cone.Prog) == 0 {
+		// A hand-assembled cone without its compiled program would walk
+		// nothing and report every fault undetected.
+		return errConeProg(slot)
+	}
+	if s.mask == 0 {
+		// A real RunInto always leaves a non-zero mask; catching the
+		// violated precondition beats silently reporting every fault
+		// undetected.
+		return errNoGoodRun()
+	}
+	return nil
+}
+
+// coneWalk propagates a forced site value through the cone and returns
+// the diff word over the reachable outputs. v is the site's faulty
+// value; cone.Slots[0] is the site. A fault the block never activates
+// (faulty site value equals the good one on every valid lane) exits
+// before touching the cone.
+//
+// The faulty values live entirely in a slot-indexed shadow plane: the
+// prologue copies the cone's boundary values in, the body then reads
+// and writes nothing but the shadow, decoding the compiled instruction
+// stream in one linear pass — op and fanin slots arrive as one
+// sequential read (hardware-prefetched) instead of three data-dependent
+// loads through op/faninAt/fanin per gate, with the common 1- and
+// 2-input gates evaluated inline. The good machine in s.val is never
+// mutated, so there is no save/restore traffic, and no clearing between
+// walks either: topological order means every in-cone slot is written
+// (site in the prologue, the rest as the body reaches them) before
+// anything reads it, and every out-of-cone read is covered by the
+// boundary copy. Evaluating the whole cone unconditionally beats
+// divergence-suppressed variants here — with activation early-exit
+// culling the all-clean walks, the surviving walks diverge enough that
+// per-gate dirty tracking costs more than it skips.
+//
+// The body consumes the stream through a shrinking slice window whose
+// `len(p) > 3` loop condition proves every access of a four-word record
+// in bounds: the only bounds checks left per gate are the data-indexed
+// shadow accesses, which measurably matters at this loop's intensity.
+//
+//repolint:hotpath
+func (s *FlatSim) coneWalk(v uint64, cone *FlatCone, outDiffs []uint64) uint64 {
+	val := s.val
+	if outDiffs != nil {
+		for _, oi := range cone.Outputs {
+			outDiffs[oi] = 0
+		}
+	}
+	slots := cone.Slots
+	site := slots[0]
+	if (v^val[site])&s.mask == 0 {
+		return 0 // fault not activated by any pattern of the block
+	}
+	if len(s.shadow) < len(val) {
+		s.shadow = make([]uint64, len(val))
+	}
+	shadow := s.shadow
+	shadow[site] = v
+	for _, b := range cone.Bound {
+		shadow[b] = val[b]
+	}
+	for p := cone.Prog; len(p) > 3; {
+		h := p[0]
+		var nv uint64
+		switch uint8(h) {
+		case opBuf:
+			nv = shadow[p[2]]
+		case opNot:
+			nv = ^shadow[p[2]]
+		case opAnd2:
+			nv = shadow[p[2]] & shadow[p[3]]
+		case opNand2:
+			nv = ^(shadow[p[2]] & shadow[p[3]])
+		case opOr2:
+			nv = shadow[p[2]] | shadow[p[3]]
+		case opNor2:
+			nv = ^(shadow[p[2]] | shadow[p[3]])
+		case opXor2:
+			nv = shadow[p[2]] ^ shadow[p[3]]
+		case opXnor2:
+			nv = ^(shadow[p[2]] ^ shadow[p[3]])
+		default:
+			nf := int(h >> 8)
+			// The shadow is indexed by slot exactly like the value
+			// plane, so the shared N-ary evaluator applies unchanged.
+			shadow[p[1]] = evalFlatN(uint8(h), p[2:2+nf], shadow)
+			p = p[2+nf:]
+			continue
+		}
+		shadow[p[1]] = nv
+		p = p[4:]
+	}
+	var diff uint64
+	for j, oi := range cone.Outputs {
+		os := slots[cone.OutPos[j]]
+		d := (shadow[os] ^ val[os]) & s.mask
+		diff |= d
+		if outDiffs != nil {
+			outDiffs[oi] = d
+		}
+	}
+	return diff
+}
+
+// evalForcedPin evaluates one slot with a single fanin word replaced by
+// the forced word — the site evaluation of an input-pin fault. No
+// staging buffer: each op family folds its fanin inline, substituting
+// at the forced pin.
+//
+//repolint:hotpath
+func (s *FlatSim) evalForcedPin(slot, pin int, forced uint64) uint64 {
+	f := s.f
+	val := s.val
+	fanin := f.fanin[f.faninAt[slot]:f.faninAt[slot+1]]
+	pick := forced
+	if pin != 0 {
+		pick = val[fanin[0]]
+	}
+	op := f.op[slot]
+	switch op {
+	case opBuf:
+		return pick
+	case opNot:
+		return ^pick
+	}
+	v := pick
+	switch op {
+	case opAnd2, opNand2, opAndN, opNandN:
+		for i := 1; i < len(fanin); i++ {
+			w := val[fanin[i]]
+			if i == pin {
+				w = forced
+			}
+			v &= w
+		}
+		if op == opNand2 || op == opNandN {
+			v = ^v
+		}
+	case opOr2, opNor2, opOrN, opNorN:
+		for i := 1; i < len(fanin); i++ {
+			w := val[fanin[i]]
+			if i == pin {
+				w = forced
+			}
+			v |= w
+		}
+		if op == opNor2 || op == opNorN {
+			v = ^v
+		}
+	case opXor2, opXnor2, opXorN, opXnorN:
+		for i := 1; i < len(fanin); i++ {
+			w := val[fanin[i]]
+			if i == pin {
+				w = forced
+			}
+			v ^= w
+		}
+		if op == opXnor2 || op == opXnorN {
+			v = ^v
+		}
+	}
+	return v
+}
+
+// Cold-path error constructors for the annotated cone walks: the
+// formatting machinery stays out of the hot functions.
+
+func errSlotRange(slot int) error {
+	return fmt.Errorf("logicsim: fault slot %d out of range", slot)
+}
+
+func errConeSite(slot int) error {
+	return fmt.Errorf("logicsim: cone does not start at fault slot %d", slot)
+}
+
+func errConeProg(slot int) error {
+	return fmt.Errorf("logicsim: cone of slot %d carries no compiled program (not built by ConeOf?)", slot)
+}
+
+func errNoGoodRun() error {
+	return fmt.Errorf("logicsim: cone walk requires a preceding RunInto")
+}
+
+func errNoPin(slot, pin int) error {
+	return fmt.Errorf("logicsim: slot %d has no pin %d", slot, pin)
+}

@@ -1,0 +1,335 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestFlatConeSetMatchesConeSet pins the slot cones to the gate cones:
+// same membership (modulo the slot↔gate mapping), same reachable
+// outputs, slots ascending with the site first.
+func TestFlatConeSetMatchesConeSet(t *testing.T) {
+	circuits := []*netlist.Circuit{netlist.C17()}
+	for seed := int64(1); seed <= 3; seed++ {
+		c, err := netlist.RandomCircuit("r", 7, 70, 5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, c)
+	}
+	for _, c := range circuits {
+		cs, err := NewConeSet(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFlat(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcs, err := NewFlatConeSet(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fcs.Size() != cs.Size() {
+			t.Fatalf("%s: flat cone set size %d, gate cone set size %d", c.Name, fcs.Size(), cs.Size())
+		}
+		for gate := range c.Gates {
+			slot := f.SlotOf(gate)
+			fc := fcs.ConeOf(slot)
+			gc := cs.Cone(gate)
+			if len(fc.Slots) != len(gc.Gates) {
+				t.Fatalf("%s gate %d: flat cone %d slots, gate cone %d gates", c.Name, gate, len(fc.Slots), len(gc.Gates))
+			}
+			if fc.Slots[0] != int32(slot) {
+				t.Fatalf("%s gate %d: cone does not start at the site slot", c.Name, gate)
+			}
+			in := make(map[int]bool, len(gc.Gates))
+			for _, g := range gc.Gates {
+				in[g] = true
+			}
+			for i, s := range fc.Slots {
+				if i > 0 && fc.Slots[i-1] >= s {
+					t.Fatalf("%s gate %d: cone slots not ascending", c.Name, gate)
+				}
+				if !in[f.GateAt(int(s))] {
+					t.Fatalf("%s gate %d: slot %d (gate %d) not in the gate cone", c.Name, gate, s, f.GateAt(int(s)))
+				}
+			}
+			if len(fc.Outputs) != len(gc.Outputs) || len(fc.OutPos) != len(fc.Outputs) {
+				t.Fatalf("%s gate %d: output lists disagree", c.Name, gate)
+			}
+			for j, oi := range fc.Outputs {
+				if int(oi) != gc.Outputs[j] {
+					t.Fatalf("%s gate %d: output %d is %d, gate cone says %d", c.Name, gate, j, oi, gc.Outputs[j])
+				}
+				if got := int(fc.Slots[fc.OutPos[j]]); got != f.SlotOf(c.Outputs[oi]) {
+					t.Fatalf("%s gate %d: OutPos[%d] points at slot %d, output %d lives at slot %d",
+						c.Name, gate, j, got, oi, f.SlotOf(c.Outputs[oi]))
+				}
+			}
+		}
+	}
+}
+
+// TestRunConeMatchesRunWithFaultCone is the core flat-cone correctness
+// property: for every fault site, pin, and polarity, the flat cone walk
+// must return the same diff word and per-output diffs as the pointer
+// cone walk — and, transitively through cone_test.go, the full-circuit
+// faulty-vs-good diff.
+func TestRunConeMatchesRunWithFaultCone(t *testing.T) {
+	circuits := []*netlist.Circuit{netlist.C17()}
+	for seed := int64(4); seed <= 5; seed++ {
+		c, err := netlist.RandomCircuit("r", 8, 80, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, c)
+	}
+	for _, c := range circuits {
+		sim, err := NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewConeSet(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFlat(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcs, err := NewFlatConeSet(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFlatSim(f)
+		block := randomBlock(t, c, 1+int(int64(len(c.Gates))%64), int64(len(c.Gates)))
+		if _, err := sim.Run(block); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.RunInto(block, nil); err != nil {
+			t.Fatal(err)
+		}
+		wantDiffs := make([]uint64, len(c.Outputs))
+		gotDiffs := make([]uint64, len(c.Outputs))
+		for gate, g := range c.Gates {
+			slot := f.SlotOf(gate)
+			cone := fcs.ConeOf(slot)
+			pins := make([]int, 0, len(g.Fanin)+1)
+			pins = append(pins, -1)
+			for pin := range g.Fanin {
+				pins = append(pins, pin)
+			}
+			for _, pin := range pins {
+				for _, stuck := range []bool{false, true} {
+					want, err := sim.RunWithFaultCone(gate, pin, stuck, cs.Cone(gate), wantDiffs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got uint64
+					if pin < 0 {
+						got, err = fs.RunCone(slot, stuck, &cone, gotDiffs)
+					} else {
+						got, err = fs.RunConeForced(slot, pin, stuck, &cone, gotDiffs)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("%s gate %d pin %d stuck %v: flat diff %x, pointer diff %x",
+							c.Name, gate, pin, stuck, got, want)
+					}
+					for _, oi := range cone.Outputs {
+						if gotDiffs[oi] != wantDiffs[oi] {
+							t.Fatalf("%s gate %d pin %d stuck %v: output %d flat diff %x, pointer %x",
+								c.Name, gate, pin, stuck, oi, gotDiffs[oi], wantDiffs[oi])
+						}
+					}
+				}
+			}
+		}
+		// After all the cone runs the flat value plane must again hold
+		// the good machine.
+		for slot := 0; slot < f.Slots(); slot++ {
+			if fs.Value(slot)&block.Mask() != sim.Value(f.GateAt(slot))&block.Mask() {
+				t.Fatalf("%s slot %d: good machine not restored after cone runs", c.Name, slot)
+			}
+		}
+	}
+}
+
+// TestRunWithFaultIntoMatchesSimulator pins the scalar flat fault walk
+// (the faultsim Serial baseline) to the pointer-walking
+// Simulator.RunWithFault.
+func TestRunWithFaultIntoMatchesSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 4; trial++ {
+		c, err := netlist.RandomCircuit("r", 6+rng.Intn(5), 40+rng.Intn(80), 3+rng.Intn(5), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFlat(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFlatSim(f)
+		block := randomBlock(t, c, 1+rng.Intn(64), rng.Int63())
+		var out []uint64
+		for gate, g := range c.Gates {
+			pins := make([]int, 0, len(g.Fanin)+1)
+			pins = append(pins, -1)
+			for pin := range g.Fanin {
+				pins = append(pins, pin)
+			}
+			for _, pin := range pins {
+				stuck := rng.Intn(2) == 1
+				want, err := sim.RunWithFault(block, gate, pin, stuck)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err = fs.RunWithFaultInto(block, f.SlotOf(gate), pin, stuck, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mask := block.Mask()
+				for o := range want {
+					if want[o]&mask != out[o]&mask {
+						t.Fatalf("trial %d gate %d pin %d: output %d flat %x, simulator %x",
+							trial, gate, pin, o, out[o]&mask, want[o]&mask)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunConeZeroAllocs pins the steady-state flat cone walk — the
+// PPSFP inner loop — to zero allocations per fault.
+func TestRunConeZeroAllocs(t *testing.T) {
+	c, err := netlist.RandomCircuit("a", 10, 200, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlat(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcs, err := NewFlatConeSet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlatSim(f)
+	block, err := PackPatterns(randomPatterns(c, 64, rand.New(rand.NewSource(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.RunInto(block, nil); err != nil {
+		t.Fatal(err)
+	}
+	outDiffs := make([]uint64, len(c.Outputs))
+	// Warm once so the save/restore scratch reaches its high-water mark.
+	if _, err := fs.RunCone(f.NumInputs(), true, conePtr(fcs.ConeOf(f.NumInputs())), outDiffs); err != nil {
+		t.Fatal(err)
+	}
+	slot := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := fs.RunCone(slot%f.Slots(), slot%2 == 0, conePtr(fcs.ConeOf(slot%f.Slots())), outDiffs); err != nil {
+			t.Fatal(err)
+		}
+		slot++
+	}); allocs != 0 {
+		t.Errorf("FlatSim.RunCone allocates %v per run, want 0", allocs)
+	}
+	pinSlot := f.NumInputs() // first logic slot always has a pin 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := fs.RunConeForced(pinSlot, 0, true, conePtr(fcs.ConeOf(pinSlot)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("FlatSim.RunConeForced allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestFlatConeErrors exercises the cone-walk validation paths.
+func TestFlatConeErrors(t *testing.T) {
+	c := netlist.C17()
+	f, err := NewFlat(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcs, err := NewFlatConeSet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlatSim(f)
+	// A cone walk without a preceding good run must be rejected, not
+	// silently report every fault undetected.
+	if _, err := fs.RunCone(0, true, conePtr(fcs.ConeOf(0)), nil); err == nil {
+		t.Error("cone walk without a preceding RunInto accepted")
+	}
+	block := randomBlock(t, c, 8, 1)
+	if _, err := fs.RunInto(block, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.RunCone(-1, false, conePtr(fcs.ConeOf(0)), nil); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := fs.RunCone(1, false, conePtr(fcs.ConeOf(0)), nil); err == nil {
+		t.Error("mismatched cone accepted")
+	}
+	logic := f.NumInputs()
+	if _, err := fs.RunConeForced(logic, 99, false, conePtr(fcs.ConeOf(logic)), nil); err == nil {
+		t.Error("bad pin accepted")
+	}
+	if _, err := fs.RunWithFaultInto(block, 0, 0, false, nil); err == nil {
+		t.Error("pin fault on a primary input accepted")
+	}
+	if _, err := fs.RunWithFaultInto(block, -1, -1, false, nil); err == nil {
+		t.Error("out-of-range fault slot accepted")
+	}
+}
+
+// TestFlatConeSetForCachesAndInvalidates checks the third member of the
+// simCaches bundle obeys the one invalidation rule: cached alongside
+// the Flat and ConeSet, dropped with them on any mutation.
+func TestFlatConeSetForCachesAndInvalidates(t *testing.T) {
+	c := netlist.C17()
+	cs1, err := FlatConeSetFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2, err := FlatConeSetFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs1 != cs2 {
+		t.Error("FlatConeSetFor rebuilt on second call")
+	}
+	// The slot cones build over (and share) the cached Flat.
+	f, err := FlatFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs1.Flat() != f {
+		t.Error("slot cones built over a different Flat than the cached one")
+	}
+	if _, err := c.AddGate("extra", netlist.Not, "22"); err != nil {
+		t.Fatal(err)
+	}
+	cs3, err := FlatConeSetFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs3 == cs1 {
+		t.Error("mutation did not invalidate the slot cones")
+	}
+}
+
+// conePtr lets test call sites pass an rvalue cone by address.
+func conePtr(c FlatCone) *FlatCone { return &c }

@@ -41,10 +41,17 @@ func PackPatterns(patterns []Pattern) (PatternBlock, error) {
 		if len(pat) != width {
 			return PatternBlock{}, fmt.Errorf("logicsim: pattern %d width %d != %d", p, len(pat), width)
 		}
+		// Branchless bit scatter: a bool is 0 or 1, so converting and
+		// shifting beats a per-bit branch that mispredicts half the time
+		// on random patterns (packing is a measurable slice of a short
+		// fault-simulation run).
+		bit := uint(p)
 		for i, v := range pat {
+			var b uint64
 			if v {
-				words[i] |= 1 << uint(p)
+				b = 1
 			}
+			words[i] |= b << bit
 		}
 	}
 	return PatternBlock{Inputs: words, Count: len(patterns)}, nil

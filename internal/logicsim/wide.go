@@ -1,6 +1,7 @@
 package logicsim
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -19,10 +20,16 @@ import (
 // the per-gate overhead amortizes any further.
 const MaxLaneWords = 8
 
+// ErrLaneWords marks a lane-block word count outside 1..MaxLaneWords.
+// Every wide-layer entry point (simulators, forcing tables, block
+// packing and conversion) wraps it, so callers can errors.Is a shape
+// mistake regardless of which layer caught it.
+var ErrLaneWords = errors.New("lane-block word count outside range")
+
 // validLaneWords rejects widths outside 1..MaxLaneWords.
 func validLaneWords(words int) error {
 	if words < 1 || words > MaxLaneWords {
-		return fmt.Errorf("logicsim: lane block of %d words outside 1..%d", words, MaxLaneWords)
+		return fmt.Errorf("logicsim: lane block of %d words outside 1..%d: %w", words, MaxLaneWords, ErrLaneWords)
 	}
 	return nil
 }
@@ -58,6 +65,27 @@ func PackWidePatterns(patterns []Pattern, words int) (WidePatternBlock, error) {
 		}
 	}
 	return WidePatternBlock{Inputs: inputs, Words: words, Count: len(patterns)}, nil
+}
+
+// WidenBlock converts a packed 64-pattern block to a words-wide lane
+// block: the block's patterns occupy lanes 0..Count-1 (word 0 of every
+// input's lane block), the remaining lanes are zero. A word count
+// outside 1..MaxLaneWords is rejected with ErrLaneWords, and a block
+// whose shape cannot have come from PackPatterns (Count outside 1..64)
+// is rejected before any allocation — the zero-value PatternBlock being
+// the classic way to hit it.
+func WidenBlock(b PatternBlock, words int) (WidePatternBlock, error) {
+	if err := validLaneWords(words); err != nil {
+		return WidePatternBlock{}, err
+	}
+	if b.Count < 1 || b.Count > 64 {
+		return WidePatternBlock{}, fmt.Errorf("logicsim: block Count %d outside 1..64 (zero-value PatternBlock?)", b.Count)
+	}
+	inputs := make([]uint64, len(b.Inputs)*words)
+	for i, w := range b.Inputs {
+		inputs[i*words] = w
+	}
+	return WidePatternBlock{Inputs: inputs, Words: words, Count: b.Count}, nil
 }
 
 // MaskInto appends the valid-lane mask (Words words) to dst.
@@ -106,10 +134,16 @@ type WideLaneForces struct {
 	words int
 	epoch int32
 	mark  []int32 // per slot: epoch its entries belong to
-	// stride-packed stem masks; an all-zero care block means no stem
-	// fault on the slot this epoch.
-	stemCare  []uint64
-	stemForce []uint64
+	// stem holds the stride-packed stem masks of every slot, care and
+	// force interleaved: slot s owns stem[s*2*words : (s+1)*2*words),
+	// care block first, force block second. Builds and force application
+	// always touch a slot's care and force words together, and slots are
+	// visited in scattered order — keeping the pair adjacent makes the
+	// common case one cache line per site instead of two (a measurable
+	// share of lot-engine time on shallow circuits, where tables are
+	// rebuilt far more often than they are walked). An all-zero care
+	// block means no stem fault on the slot this epoch.
+	stem []uint64
 	// pins holds the per-input-pin masks of each slot, truncated to zero
 	// length when the slot is first touched in a new epoch.
 	pins [][]widePin
@@ -131,13 +165,12 @@ func NewWideLaneForces(f *Flat, words int) (*WideLaneForces, error) {
 	}
 	n := f.Slots()
 	return &WideLaneForces{
-		f:         f,
-		words:     words,
-		epoch:     1,
-		mark:      make([]int32, n),
-		stemCare:  make([]uint64, n*words),
-		stemForce: make([]uint64, n*words),
-		pins:      make([][]widePin, n),
+		f:     f,
+		words: words,
+		epoch: 1,
+		mark:  make([]int32, n),
+		stem:  make([]uint64, n*2*words),
+		pins:  make([][]widePin, n),
 	}, nil
 }
 
@@ -159,49 +192,96 @@ func (lf *WideLaneForces) Add(f Injection, lane int) error {
 	if lane < 0 || lane >= lf.Lanes() {
 		return fmt.Errorf("logicsim: lane %d outside 0..%d", lane, lf.Lanes()-1)
 	}
-	slot := int(lf.f.slotOf[f.Gate])
+	slot := lf.f.slotOf[f.Gate]
+	if f.Pin >= 0 {
+		if nf := int(lf.f.faninAt[slot+1] - lf.f.faninAt[slot]); f.Pin >= nf {
+			return fmt.Errorf("logicsim: gate %d has no pin %d", f.Gate, f.Pin)
+		}
+	}
+	lf.AddResolved(SlotInjection{Slot: slot, Pin: int32(f.Pin), Stuck: f.Stuck}, lane)
+	return nil
+}
+
+// SlotInjection is an Injection resolved to slot space: the fault site
+// as a flat slot index, with site and pin validation already done. A
+// negative Pin is an output-stem fault, as in Injection.
+// Flat.ResolveInjections produces them; AddResolved consumes them
+// without revalidating — the bulk-build path of the lot engines, which
+// rebuild forcing tables from the same fault universe every batch and
+// would otherwise pay the gate-range check and gate→slot lookup on
+// every one of those adds.
+type SlotInjection struct {
+	Slot  int32
+	Pin   int32
+	Stuck bool
+}
+
+// ResolveInjections validates a fault list and resolves it to slot
+// space in one pass, so repeated table builds over the same universe
+// can use AddResolved instead of revalidating every fault.
+func (f *Flat) ResolveInjections(faults []Injection) ([]SlotInjection, error) {
+	out := make([]SlotInjection, len(faults))
+	for i, fi := range faults {
+		if fi.Gate < 0 || fi.Gate >= f.Slots() {
+			return nil, fmt.Errorf("logicsim: fault site %d out of range", fi.Gate)
+		}
+		slot := f.slotOf[fi.Gate]
+		if fi.Pin >= 0 {
+			if nf := int(f.faninAt[slot+1] - f.faninAt[slot]); fi.Pin >= nf {
+				return nil, fmt.Errorf("logicsim: gate %d has no pin %d", fi.Gate, fi.Pin)
+			}
+		}
+		out[i] = SlotInjection{Slot: slot, Pin: int32(fi.Pin), Stuck: fi.Stuck}
+	}
+	return out, nil
+}
+
+// AddResolved forces a pre-resolved fault onto one lane. The caller
+// guarantees the injection came from ResolveInjections on the same
+// flat circuit and that lane is inside 0..Lanes()-1; no per-call
+// validation is repeated. Overlap semantics match Add: the new stuck
+// value wins.
+//
+//repolint:hotpath
+func (lf *WideLaneForces) AddResolved(f SlotInjection, lane int) {
+	slot := int(f.Slot)
+	base := slot * 2 * lf.words
 	if lf.mark[slot] != lf.epoch {
 		lf.mark[slot] = lf.epoch
-		base := slot * lf.words
-		for k := 0; k < lf.words; k++ {
-			lf.stemCare[base+k] = 0
-			lf.stemForce[base+k] = 0
+		for k := 0; k < 2*lf.words; k++ {
+			lf.stem[base+k] = 0
 		}
 		lf.pins[slot] = lf.pins[slot][:0]
 	}
 	word, bit := lane>>6, uint(lane&63)
 	if f.Pin < 0 {
-		o := slot*lf.words + word
-		lf.stemCare[o] |= 1 << bit
+		o := base + word
+		lf.stem[o] |= 1 << bit
 		if f.Stuck {
-			lf.stemForce[o] |= 1 << bit
+			lf.stem[o+lf.words] |= 1 << bit
 		} else {
-			lf.stemForce[o] &^= 1 << bit
+			lf.stem[o+lf.words] &^= 1 << bit
 		}
-		return nil
-	}
-	if nf := int(lf.f.faninAt[slot+1] - lf.f.faninAt[slot]); f.Pin >= nf {
-		return fmt.Errorf("logicsim: gate %d has no pin %d", f.Gate, f.Pin)
+		return
 	}
 	for i := range lf.pins[slot] {
-		if pl := &lf.pins[slot][i]; pl.pin == int32(f.Pin) {
+		if pl := &lf.pins[slot][i]; pl.pin == f.Pin {
 			pl.care[word] |= 1 << bit
 			if f.Stuck {
 				pl.force[word] |= 1 << bit
 			} else {
 				pl.force[word] &^= 1 << bit
 			}
-			return nil
+			return
 		}
 	}
 	var pl widePin
-	pl.pin = int32(f.Pin)
+	pl.pin = f.Pin
 	pl.care[word] |= 1 << bit
 	if f.Stuck {
 		pl.force[word] |= 1 << bit
 	}
 	lf.pins[slot] = append(lf.pins[slot], pl)
-	return nil
 }
 
 // forced reports whether the slot carries forces this epoch.
@@ -296,8 +376,9 @@ func (s *WideSim) RunLaneForced(block PatternBlock, p int, lf *WideLaneForces, o
 		b := -(block.Inputs[i] >> uint(p) & 1)
 		o := i * w
 		if lf.forced(i) {
+			sb := i * 2 * w
 			for k := 0; k < w; k++ {
-				s.val[o+k] = b&^lf.stemCare[o+k] | lf.stemForce[o+k]
+				s.val[o+k] = b&^lf.stem[sb+k] | lf.stem[sb+w+k]
 			}
 		} else {
 			for k := 0; k < w; k++ {
@@ -330,8 +411,9 @@ func (s *WideSim) EvalSlotsForced(good *FlatSim, p int, slots []int32, lf *WideL
 			b := -(good.val[slot] >> uint(p) & 1)
 			o := slot * w
 			if lf.forced(slot) {
+				sb := slot * 2 * w
 				for k := 0; k < w; k++ {
-					s.val[o+k] = b&^lf.stemCare[o+k] | lf.stemForce[o+k]
+					s.val[o+k] = b&^lf.stem[sb+k] | lf.stem[sb+w+k]
 				}
 			} else {
 				for k := 0; k < w; k++ {
@@ -363,25 +445,50 @@ func errForcesShape(words int) error {
 }
 
 // walkForced is the wide hot loop: one linear pass over the logic
-// slots; lf == nil walks unforced.
+// slots; lf == nil walks unforced. The width dispatch is hoisted out
+// of the loop so the specialized widths pay one kernel call per slot
+// instead of riding through evalForcedSlot's per-slot switch — at
+// width 1, the steady state of the compacting lot engine, that inner
+// dispatch was a second dynamic call on every gate.
 //
 //repolint:hotpath
 func (s *WideSim) walkForced(lf *WideLaneForces) {
 	f := s.f
-	for slot := f.numIn; slot < len(f.op); slot++ {
-		s.evalForcedSlot(slot, lf)
+	switch s.words {
+	case 1:
+		for slot := f.numIn; slot < len(f.op); slot++ {
+			s.evalForcedSlot1(slot, lf)
+		}
+	case 4:
+		for slot := f.numIn; slot < len(f.op); slot++ {
+			s.evalForcedSlot4(slot, lf)
+		}
+	default:
+		for slot := f.numIn; slot < len(f.op); slot++ {
+			s.evalForcedSlot(slot, lf)
+		}
 	}
 }
 
 // evalForcedSlot evaluates one logic slot into the value plane,
 // applying the slot's pin forces during evaluation and its stem force
-// to the result. The 4-word width the shipped engines run at gets a
-// specialized kernel (wide4.go) with fixed-size array ops; every other
-// width takes the stride loops below.
+// to the result. Width dispatch: the 4-word width the engines batch at
+// gets the unrolled kernel in wide4.go, the 1-word width their dead-lane
+// compaction collapses to gets the scalar kernel in wide1.go, and every
+// other width (2, 3, 5..8) takes the generic stride loops below. An
+// 8-word unroll does not earn its bytes: BenchmarkWideWidths shows
+// per-lane cost improving only through W≈5 and regressing by W=8, where
+// the stride-8 value plane spills the close caches and the walk goes
+// memory-bound — the stride loop's bounds checks hide behind the
+// misses, and the engines batch at 4 words anyway.
 //
 //repolint:hotpath
 func (s *WideSim) evalForcedSlot(slot int, lf *WideLaneForces) {
-	if s.words == 4 {
+	switch s.words {
+	case 1:
+		s.evalForcedSlot1(slot, lf)
+		return
+	case 4:
 		s.evalForcedSlot4(slot, lf)
 		return
 	}
@@ -394,8 +501,9 @@ func (s *WideSim) evalForcedSlot(slot int, lf *WideLaneForces) {
 		} else {
 			s.evalSlot(slot, dst)
 		}
+		sb := slot * 2 * w
 		for k := 0; k < w; k++ {
-			dst[k] = dst[k]&^lf.stemCare[o+k] | lf.stemForce[o+k]
+			dst[k] = dst[k]&^lf.stem[sb+k] | lf.stem[sb+w+k]
 		}
 		return
 	}

@@ -25,13 +25,11 @@ func (s *WideSim) evalForcedSlot4(slot int, lf *WideLaneForces) {
 		} else {
 			s.evalSlot4(slot, dst)
 		}
-		o := slot * 4
-		care := (*[4]uint64)(lf.stemCare[o:])
-		force := (*[4]uint64)(lf.stemForce[o:])
-		dst[0] = dst[0]&^care[0] | force[0]
-		dst[1] = dst[1]&^care[1] | force[1]
-		dst[2] = dst[2]&^care[2] | force[2]
-		dst[3] = dst[3]&^care[3] | force[3]
+		cf := (*[8]uint64)(lf.stem[slot*8:]) // care words 0..3, force 4..7
+		dst[0] = dst[0]&^cf[0] | cf[4]
+		dst[1] = dst[1]&^cf[1] | cf[5]
+		dst[2] = dst[2]&^cf[2] | cf[6]
+		dst[3] = dst[3]&^cf[3] | cf[7]
 		return
 	}
 	s.evalSlot4(slot, dst)

@@ -1,6 +1,7 @@
 package logicsim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -8,8 +9,10 @@ import (
 )
 
 // wideWidths is the lane-block width matrix the wide-layer property
-// tests sweep: 64, 256, and 512 lanes.
-var wideWidths = []int{1, 4, 8}
+// tests sweep: the specialized 1- and 4-word kernels, the 2-word width
+// dead-lane compaction passes through, a generic stride width (5), and
+// the maximum (8).
+var wideWidths = []int{1, 2, 4, 5, 8}
 
 // randomMachines builds n multi-fault machines of 1..5 random faults.
 func randomMachines(c *netlist.Circuit, n int, rng *rand.Rand) [][]Injection {
@@ -371,6 +374,114 @@ func TestPackWidePatternsRoundTrip(t *testing.T) {
 	}
 	if len(mask) != 8 || set != 300 {
 		t.Fatalf("mask has %d bits over %d words, want 300 over 8", set, len(mask))
+	}
+}
+
+// TestWidenBlock checks the PatternBlock→WidePatternBlock conversion:
+// patterns land in word 0 of every input's lane block, padding lanes
+// stay zero, and word counts outside 1..MaxLaneWords are rejected with
+// the named ErrLaneWords — the regression for shape mistakes that
+// previously surfaced as opaque walk errors.
+func TestWidenBlock(t *testing.T) {
+	c := netlist.C17()
+	rng := rand.New(rand.NewSource(4))
+	patterns := randomPatterns(c, 23, rng)
+	b, err := PackPatterns(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlat(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, words := range []int{1, 3, 8} {
+		wb, err := WidenBlock(b, words)
+		if err != nil {
+			t.Fatalf("words=%d: %v", words, err)
+		}
+		if wb.Count != b.Count || wb.Words != words {
+			t.Fatalf("words=%d: widened shape %d/%d", words, wb.Count, wb.Words)
+		}
+		for i, w := range b.Inputs {
+			if wb.Inputs[i*words] != w {
+				t.Fatalf("words=%d input %d: word 0 is %x, want %x", words, i, wb.Inputs[i*words], w)
+			}
+			for k := 1; k < words; k++ {
+				if wb.Inputs[i*words+k] != 0 {
+					t.Fatalf("words=%d input %d: padding word %d not zero", words, i, k)
+				}
+			}
+		}
+		// The widened block simulates identically to the 64-lane one.
+		ws, err := NewWideSim(f, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ws.RunInto(wb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := b.Mask()
+		for o := range want {
+			if out[o*words]&mask != want[o]&mask {
+				t.Fatalf("words=%d output %d: widened %x, simulator %x", words, o, out[o*words]&mask, want[o]&mask)
+			}
+		}
+	}
+	for _, words := range []int{0, -2, 9} {
+		if _, err := WidenBlock(b, words); !errors.Is(err, ErrLaneWords) {
+			t.Errorf("WidenBlock(%d words) error %v, want ErrLaneWords", words, err)
+		}
+	}
+	if _, err := WidenBlock(PatternBlock{}, 4); err == nil {
+		t.Error("zero-value PatternBlock accepted")
+	}
+	// The other wide-layer entry points wrap the same sentinel.
+	if _, err := NewWideSim(f, 9); !errors.Is(err, ErrLaneWords) {
+		t.Errorf("NewWideSim(9 words) error %v, want ErrLaneWords", err)
+	}
+	if _, err := NewWideLaneForces(f, 0); !errors.Is(err, ErrLaneWords) {
+		t.Errorf("NewWideLaneForces(0 words) error %v, want ErrLaneWords", err)
+	}
+}
+
+// TestWideLaneForcesResetKeepsLaneBounds is the compaction regression:
+// an epoch Reset must empty the table without enlarging it, so a
+// narrow (re-packed) table still rejects lane indices surviving from a
+// wider layout.
+func TestWideLaneForcesResetKeepsLaneBounds(t *testing.T) {
+	c := netlist.C17()
+	f, err := NewFlat(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := NewWideLaneForces(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Lanes() != 64 {
+		t.Fatalf("1-word table has %d lanes", lf.Lanes())
+	}
+	if err := lf.Add(Injection{Gate: 0, Pin: -1, Stuck: true}, 63); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.Add(Injection{Gate: 0, Pin: -1, Stuck: true}, 64); err == nil {
+		t.Error("lane 64 accepted by a 1-word table")
+	}
+	lf.Reset()
+	if err := lf.Add(Injection{Gate: 0, Pin: -1, Stuck: true}, 64); err == nil {
+		t.Error("lane 64 accepted by a 1-word table after Reset")
+	}
+	if err := lf.Add(Injection{Gate: 0, Pin: -1, Stuck: true}, 63); err != nil {
+		t.Errorf("in-range lane rejected after Reset: %v", err)
 	}
 }
 

@@ -1,9 +1,9 @@
 package tester
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
-	"slices"
 
 	"repro/internal/defect"
 	"repro/internal/logicsim"
@@ -11,30 +11,76 @@ import (
 
 // The chipparallel256 lot engine is the chip-parallel engine widened
 // onto the flat struct-of-arrays core: the good machine (lane 0) plus
-// up to 255 defective chips ride the 256 bit-lanes of a 4-word lane
+// up to 255 defective chips ride the bit-lanes of a multi-word lane
 // block, and one flat walk per pattern (logicsim.WideSim.RunLaneForced)
 // evaluates the whole batch. Scheduling is identical to chip-parallel —
 // growing pattern chunks with cross-batch survivor re-packing, ordered
 // by lowest fault-universe index, and force-table pruning once three
-// quarters of a batch's lanes have died — just with 4x the lanes per
-// walk and the flat core's cheaper per-gate step. First-fail extraction
-// is exact at both granularities, bit-identical to the serial oracle.
+// quarters of a batch's lanes have died — with one addition: dead-lane
+// *compaction*. A batch starts at the narrowest width that holds its
+// lanes and, whenever the survivors fit in at most half the current
+// words, re-packs them into the low lanes of a narrower block and
+// continues at that width. Shallow circuits kill most of a batch in the
+// first few patterns, so without compaction the walk drags mostly-empty
+// words for the batch's whole life — the documented cmp16 regression
+// against the 1-word chip-parallel engine. With it the steady state
+// collapses to the 1-word scalar kernel (logicsim wide1.go) while the
+// opening patterns still retire 255 chips per walk. First-fail
+// extraction is exact at both granularities, bit-identical to the
+// serial oracle.
 
 const (
-	// pp256Words is the lane-block width: 4 words = 256 lanes.
+	// pp256Words is the lane-block width a batch *starts* at (before
+	// compaction narrows it): 4 words = 256 lanes.
 	pp256Words = 4
 	// pp256Lanes is the number of chip lanes per batch (lane 0 is the
 	// good machine).
 	pp256Lanes = 64*pp256Words - 1
 )
 
+// ErrBatchLanes marks a chip batch whose lanes do not fit the
+// lane-block width the engine is about to walk — the guard that keeps a
+// re-packed (compacted) batch from silently indexing lanes past the
+// narrower forcing table.
+var ErrBatchLanes = errors.New("tester: batch lanes exceed lane-block width")
+
 // chipParallel256State is the engine's per-ATE scratch, allocated once
-// and reused across lots.
+// and reused across lots. Walk state and forcing tables are per width,
+// built lazily: a lot only pays for the widths its batches actually
+// compact through (4 at the start, then 2 and 1 as lanes die).
 type chipParallel256State struct {
-	sim        *logicsim.WideSim
-	forces     *logicsim.WideLaneForces
+	flat   *logicsim.Flat
+	sims   [logicsim.MaxLaneWords + 1]*logicsim.WideSim
+	forces [logicsim.MaxLaneWords + 1]*logicsim.WideLaneForces
+
 	out        []uint64
 	work, next []ppItem
+	sort       ppSort
+	// Per-lot CSR of resolved chip faults: chip c's injections live at
+	// faults[faultAt[c]:faultAt[c+1]]. Table builds re-walk these lists
+	// on every rebuild and prune, and the lot's per-chip []int slices
+	// point all over the heap — flattening them once per lot turns each
+	// rebuild into streaming reads of a contiguous array, with the
+	// universe indirection already resolved away.
+	faultAt []int32
+	faults  []logicsim.SlotInjection
+}
+
+// at returns the walk state and forcing table of the given width,
+// building both on first use.
+func (st *chipParallel256State) at(words int) (*logicsim.WideSim, *logicsim.WideLaneForces, error) {
+	if st.sims[words] == nil {
+		sim, err := logicsim.NewWideSim(st.flat, words)
+		if err != nil {
+			return nil, nil, err
+		}
+		forces, err := logicsim.NewWideLaneForces(st.flat, words)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.sims[words], st.forces[words] = sim, forces
+	}
+	return st.sims[words], st.forces[words], nil
 }
 
 // chipParallel256FirstFail computes the per-chip first-fail record of
@@ -46,25 +92,25 @@ func (a *ATE) chipParallel256FirstFail(lot defect.Lot, universe []logicsim.Injec
 		if err != nil {
 			return nil, err
 		}
-		sim, err := logicsim.NewWideSim(flat, pp256Words)
-		if err != nil {
-			return nil, err
-		}
-		forces, err := logicsim.NewWideLaneForces(flat, pp256Words)
-		if err != nil {
-			return nil, err
-		}
-		a.pp256 = &chipParallel256State{sim: sim, forces: forces}
+		a.pp256 = &chipParallel256State{flat: flat}
 	}
 	st := a.pp256
+	// Resolve the universe to slot space once, then flatten each chip's
+	// fault list through it into the per-lot CSR: the batch builds below
+	// re-add the same faults on every rebuild, and the flattened
+	// resolved form makes each of those adds a validation-free
+	// AddResolved fed by sequential reads (see chipParallel256State).
+	resolved, err := st.flat.ResolveInjections(universe)
+	if err != nil {
+		return nil, err
+	}
 	ff := make([]int, len(lot.Chips))
 	work := st.work[:0]
+	st.faultAt = append(st.faultAt[:0], 0)
+	st.faults = st.faults[:0]
 	for i, chip := range lot.Chips {
 		ff[i] = NeverFails
-		if !chip.Defective() {
-			continue
-		}
-		key := chip.Faults[0]
+		key := len(universe)
 		for _, fi := range chip.Faults {
 			if fi < 0 || fi >= len(universe) {
 				return nil, fmt.Errorf("tester: chip fault index %d out of universe", fi)
@@ -72,15 +118,14 @@ func (a *ATE) chipParallel256FirstFail(lot defect.Lot, universe []logicsim.Injec
 			if fi < key {
 				key = fi
 			}
+			st.faults = append(st.faults, resolved[fi])
 		}
-		work = append(work, ppItem{chip: i, key: key})
+		st.faultAt = append(st.faultAt, int32(len(st.faults)))
+		if chip.Defective() {
+			work = append(work, ppItem{chip: i, key: key})
+		}
 	}
-	slices.SortFunc(work, func(x, y ppItem) int {
-		if x.key != y.key {
-			return x.key - y.key
-		}
-		return x.chip - y.chip
-	})
+	st.sort.sortWork(work, len(universe))
 	spare := st.next[:0]
 	base, chunk := 0, ppChunkStart
 	for len(work) > 0 && base < len(a.patterns) {
@@ -95,7 +140,7 @@ func (a *ATE) chipParallel256FirstFail(lot defect.Lot, universe []logicsim.Injec
 				hi = len(work)
 			}
 			var err error
-			next, err = a.pp256Batch(lot, universe, work[lo:hi], base, end, steps, ff, next)
+			next, err = a.pp256Batch(work[lo:hi], base, end, steps, ff, next)
 			if err != nil {
 				return nil, err
 			}
@@ -110,67 +155,101 @@ func (a *ATE) chipParallel256FirstFail(lot defect.Lot, universe []logicsim.Injec
 	return ff, nil
 }
 
+// laneWordsFor returns the narrowest lane-block width holding the good
+// machine plus n chip lanes.
+func laneWordsFor(n int) int {
+	return (n + 1 + 63) / 64
+}
+
+// pp256Build (re)fills a forcing table with the pre-resolved faults of
+// the batch lanes still alive, validating that every lane fits the table's width:
+// after a compaction the table is narrower than the one the batch
+// started on, and a lane index surviving from the wide assignment must
+// never reach it (ErrBatchLanes names that invariant instead of an
+// opaque lane-range error deep in logicsim). The walk cost then tracks
+// the survivor count, whether the rebuild came from the 3/4-dead
+// pruning threshold or from a re-pack.
+func (a *ATE) pp256Build(batch []ppItem, lf *logicsim.WideLaneForces, alive []uint64) error {
+	if len(batch)+1 > lf.Lanes() {
+		return errBatchLanes(len(batch), lf.Words())
+	}
+	st := a.pp256
+	lf.Reset()
+	for i := range batch {
+		lane := i + 1
+		if alive[lane>>6]>>uint(lane&63)&1 == 0 {
+			continue
+		}
+		c := batch[i].chip
+		for _, sf := range st.faults[st.faultAt[c]:st.faultAt[c+1]] {
+			lf.AddResolved(sf, lane)
+		}
+	}
+	return nil
+}
+
+// errBatchLanes builds the lane-overflow error outside the batch loop.
+func errBatchLanes(chips, words int) error {
+	return fmt.Errorf("tester: %d chip lanes into a %d-word block: %w", chips, words, ErrBatchLanes)
+}
+
 // pp256Batch walks patterns [base, end) for one batch of up to 255
-// chips, recording first fails and appending the survivors to next.
-func (a *ATE) pp256Batch(lot defect.Lot, universe []logicsim.Injection, batch []ppItem,
+// chips, recording first fails and appending the survivors to next. The
+// batch slice is compacted in place as lanes die (its tail entries are
+// dead storage afterwards; the caller's work buffer is rebuilt from
+// next each chunk, so nothing reads them).
+//
+//repolint:hotpath
+func (a *ATE) pp256Batch(batch []ppItem,
 	base, end int, steps bool, ff []int, next []ppItem) ([]ppItem, error) {
 	st := a.pp256
-	lf := st.forces
-	// build (re)fills the forcing table with the faults of the lanes
-	// still alive, so the walk cost tracks the survivor count once the
-	// 3/4-dead pruning threshold fires (same policy as chip-parallel).
-	build := func(alive *[pp256Words]uint64) error {
-		lf.Reset()
-		for i := range batch {
-			lane := i + 1
-			if alive[lane>>6]>>uint(lane&63)&1 == 0 {
-				continue
-			}
-			for _, fi := range lot.Chips[batch[i].chip].Faults {
-				if err := lf.Add(universe[fi], lane); err != nil {
-					return err
-				}
+	words := laneWordsFor(len(batch))
+	sim, lf, err := st.at(words)
+	if err != nil {
+		return nil, err
+	}
+	// alive covers chip lanes 1..len(batch); aliveArr keeps it off the
+	// heap across the width changes.
+	var aliveArr [logicsim.MaxLaneWords]uint64
+	alive := aliveArr[:words]
+	setAlive := func(nLanes int) {
+		for k := 0; k < len(alive); k++ {
+			lo := k * 64
+			switch {
+			case nLanes >= lo+64:
+				alive[k] = ^uint64(0)
+			case nLanes > lo:
+				alive[k] = (uint64(1) << uint(nLanes-lo)) - 1
+			default:
+				alive[k] = 0
 			}
 		}
-		return nil
+		alive[0] &^= 1 // lane 0 is the good machine
 	}
-	// alive covers chip lanes 1..len(batch).
-	var alive [pp256Words]uint64
-	nLanes := len(batch) + 1
-	for k := 0; k < pp256Words; k++ {
-		lo := k * 64
-		switch {
-		case nLanes >= lo+64:
-			alive[k] = ^uint64(0)
-		case nLanes > lo:
-			alive[k] = (uint64(1) << uint(nLanes-lo)) - 1
-		}
-	}
-	alive[0] &^= 1 // lane 0 is the good machine
-	if err := build(&alive); err != nil {
+	setAlive(len(batch) + 1)
+	if err := a.pp256Build(batch, lf, alive); err != nil {
 		return nil, err
 	}
 	built := len(batch)
 	liveCount := func() int {
 		n := 0
-		for k := 0; k < pp256Words; k++ {
+		for k := 0; k < len(alive); k++ {
 			n += bits.OnesCount64(alive[k])
 		}
 		return n
 	}
 	nOut := len(a.c.Outputs)
 	out := st.out
-	for p := base; p < end && liveCount() != 0; p++ {
-		var err error
-		out, err = st.sim.RunLaneForced(a.blocks[p/64], p%64, lf, out)
+	for p := base; p < end; p++ {
+		out, err = sim.RunLaneForced(a.blocks[p/64], p%64, lf, out)
 		if err != nil {
 			return nil, err
 		}
 		for o := 0; o < nOut; o++ {
-			ob := out[o*pp256Words : (o+1)*pp256Words]
+			ob := out[o*words : (o+1)*words]
 			gb := -(ob[0] & 1) // broadcast the good machine (lane 0)
 			anyDiff := false
-			for k := 0; k < pp256Words; k++ {
+			for k := 0; k < words; k++ {
 				if (ob[k]^gb)&alive[k] != 0 {
 					anyDiff = true
 					break
@@ -179,7 +258,7 @@ func (a *ATE) pp256Batch(lot defect.Lot, universe []logicsim.Injection, batch []
 			if !anyDiff {
 				continue
 			}
-			for k := 0; k < pp256Words; k++ {
+			for k := 0; k < words; k++ {
 				d := (ob[k] ^ gb) & alive[k]
 				for d != 0 {
 					bit := bits.TrailingZeros64(d)
@@ -194,8 +273,38 @@ func (a *ATE) pp256Batch(lot defect.Lot, universe []logicsim.Injection, batch []
 				}
 			}
 		}
-		if n := liveCount(); n > 0 && n*4 <= built && p+1 < end {
-			if err := build(&alive); err != nil {
+		n := liveCount()
+		if n == 0 || p+1 >= end {
+			break
+		}
+		if w2 := laneWordsFor(n); w2 <= words/2 {
+			// ≥ half the words hold no live lane: re-pack the survivors
+			// into the low lanes of a narrower block and continue there.
+			// Survivor order is preserved, so the lowest-fault-index
+			// ordering the scheduler relies on is untouched.
+			n2 := 0
+			for lane := 1; lane <= len(batch); lane++ {
+				if alive[lane>>6]>>uint(lane&63)&1 == 1 {
+					batch[n2] = batch[lane-1]
+					n2++
+				}
+			}
+			batch = batch[:n2]
+			words = w2
+			if sim, lf, err = st.at(words); err != nil {
+				return nil, err
+			}
+			alive = aliveArr[:words]
+			setAlive(n2 + 1)
+			if err := a.pp256Build(batch, lf, alive); err != nil {
+				return nil, err
+			}
+			built = n2
+		} else if n*4 <= built {
+			// Same-width prune: rebuild the force table over the
+			// survivors so the staged evaluations stop paying for dead
+			// lanes' faults.
+			if err := a.pp256Build(batch, lf, alive); err != nil {
 				return nil, err
 			}
 			built = n
