@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test smoke lint cover bench bench-json bench-compare golden race sweep-smoke sweepd-smoke
+.PHONY: verify build vet test smoke lint cover bench bench-json bench-compare golden race sweep-smoke sweepd-smoke lsi-smoke
 
 # Tier-1 verification plus vet and repolint: what CI runs.
 verify: build vet lint test smoke
@@ -74,6 +74,25 @@ race:
 sweep-smoke:
 	$(GO) run ./cmd/sweep -circuits mul4,cmp8 -random 32 -yields 0.2 -n0s 3 \
 		-chips 80 -coverages 0.3,0.6 -replicates 4 -workers 2 -seed 7 -format table
+
+# ISCAS-scale smoke: the embedded 1k-gate fixture end to end — sampled
+# fault universe, budgeted ATPG with an outcome tally, and the on-disk
+# Prepared store. The test half (skipped under -short, so `make race`
+# stays fast) pins the zero-rebuild warm-store contract through the
+# cache counters; the CLI half runs the same campaign cold then warm
+# against $(PREPARED_DIR) and requires byte-identical CSV. CI caches
+# the store directory, so later builds skip the cold ATPG entirely.
+PREPARED_DIR ?= .prepared-store
+lsi-smoke:
+	$(GO) test -run TestLSIScaleStore ./internal/circuits/
+	$(GO) run ./cmd/sweep -circuits lsi1k -random 48 -sample-faults 150 -backtrack-limit 50 \
+		-yields 0.2 -n0s 3 -chips 60 -coverages 0.15,0.3 -replicates 2 -workers 2 -seed 7 \
+		-prepared-dir $(PREPARED_DIR) -format csv > /tmp/lsi-cold.csv
+	$(GO) run ./cmd/sweep -circuits lsi1k -random 48 -sample-faults 150 -backtrack-limit 50 \
+		-yields 0.2 -n0s 3 -chips 60 -coverages 0.15,0.3 -replicates 2 -workers 7 -seed 7 \
+		-prepared-dir $(PREPARED_DIR) -format csv > /tmp/lsi-warm.csv
+	cmp /tmp/lsi-cold.csv /tmp/lsi-warm.csv
+	@echo "lsi-smoke: cold and warm Prepared-store runs byte-identical"
 
 # Daemon crash/resume smoke: build the real sweepd binary, start it,
 # submit a two-circuit campaign, SIGKILL the process mid-run, restart it

@@ -155,6 +155,12 @@ func BenchmarkEngines(b *testing.B) {
 				b.ReportMetric(
 					float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(reps)*len(patterns)),
 					"ns/fault-pattern")
+				// Circuit scale travels with the measurement so bench
+				// artifacts from different workload generations stay
+				// comparable (benchjson records these as metadata).
+				b.ReportMetric(float64(len(c.Gates)), "gates")
+				b.ReportMetric(float64(len(reps)), "faults")
+				b.ReportMetric(float64(len(patterns)), "patterns")
 			})
 		}
 	}
@@ -208,6 +214,9 @@ func BenchmarkLotEngines(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(chips*b.N)/b.Elapsed().Seconds(), "chips/s")
+				b.ReportMetric(float64(len(c.Gates)), "gates")
+				b.ReportMetric(float64(len(universe)), "faults")
+				b.ReportMetric(float64(len(patterns)), "patterns")
 			})
 		}
 	}

@@ -18,7 +18,10 @@
 //	      "ns_per_op": 1885999,           // one op = one full run over the workload
 //	      "ns_per_fault_pattern": 5.54,   // engines suite only
 //	      "fault_patterns_per_sec": 1.8e8,// 1e9 / ns_per_fault_pattern
-//	      "chips_per_sec": 1342801        // lot-engines suite only
+//	      "chips_per_sec": 1342801,       // lot-engines suite only
+//	      "gates": 4064,                  // circuit scale at measurement
+//	      "faults": 9216,                 // time, when the suite reports
+//	      "patterns": 256                 // it (metadata, never compared)
 //	    }, ...
 //	  ]
 //	}
@@ -62,6 +65,13 @@ type Row struct {
 	NsPerFaultPattern   float64 `json:"ns_per_fault_pattern,omitempty"`
 	FaultPatternsPerSec float64 `json:"fault_patterns_per_sec,omitempty"`
 	ChipsPerSec         float64 `json:"chips_per_sec,omitempty"`
+	// Circuit scale at measurement time: workload generators evolve
+	// across PRs, and a throughput delta on a circuit that doubled in
+	// size is not a regression. Zero when the suite predates the
+	// metrics.
+	Gates    int `json:"gates,omitempty"`
+	Faults   int `json:"faults,omitempty"`
+	Patterns int `json:"patterns,omitempty"`
 }
 
 // Report is the artifact's top level; Schema names the layout so later
@@ -287,6 +297,12 @@ func parseLine(line string) (Row, bool) {
 			}
 		case "chips/s":
 			row.ChipsPerSec = v
+		case "gates":
+			row.Gates = int(v)
+		case "faults":
+			row.Faults = int(v)
+		case "patterns":
+			row.Patterns = int(v)
 		}
 	}
 	return row, true

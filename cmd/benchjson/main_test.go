@@ -11,7 +11,7 @@ import (
 )
 
 func TestParseLine(t *testing.T) {
-	row, ok := parseLine("BenchmarkEngines/pf256/mul8-4 \t 30\t   1885999 ns/op\t         5.547 ns/fault-pattern")
+	row, ok := parseLine("BenchmarkEngines/pf256/mul8-4 \t 30\t   1885999 ns/op\t 4064 gates\t 9216 faults\t 256 patterns\t         5.547 ns/fault-pattern")
 	if !ok {
 		t.Fatal("engines line rejected")
 	}
@@ -23,6 +23,9 @@ func TestParseLine(t *testing.T) {
 	}
 	if want := 1e9 / 5.547; row.FaultPatternsPerSec != want {
 		t.Errorf("fault-patterns/s = %g, want %g", row.FaultPatternsPerSec, want)
+	}
+	if row.Gates != 4064 || row.Faults != 9216 || row.Patterns != 256 {
+		t.Errorf("scale metadata = %+v", row)
 	}
 
 	// Engine names containing '-' must survive the -P trim.

@@ -32,6 +32,12 @@ func main() {
 	physical := flag.Bool("physical", false, "generate the lot through the physical-defect layer")
 	lotEngineName := flag.String("lotengine", tester.ChipParallel.String(),
 		"ATE lot engine: chip-parallel (63 chips + good machine per word), chipparallel256 (255 chips per 4-word lane block), or serial (per-chip oracle)")
+	sampleFaults := flag.Int("sample-faults", 0,
+		"prepare against a deterministic random sample of at most N collapsed fault classes (0 = full universe)")
+	backtrackLimit := flag.Int("backtrack-limit", 0,
+		"PODEM backtrack budget per fault during cleanup ATPG (0 = generator default)")
+	preparedDir := flag.String("prepared-dir", "",
+		"on-disk Prepared store: reuse the test program and coverage ramp across runs")
 	flag.Parse()
 
 	if *listCircuits {
@@ -51,6 +57,8 @@ func main() {
 		Seed:           *seed,
 		Physical:       *physical,
 		LotEngine:      lotEngine,
+		BacktrackLimit: *backtrackLimit,
+		SampleFaults:   *sampleFaults,
 	}
 	// Fail fast on nonsense parameters before resolving the circuit or
 	// running any ATPG.
@@ -58,13 +66,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)
 		os.Exit(1)
 	}
-	c, err := circuits.Resolve(*circuit)
+	// Preparation goes through a cache so -prepared-dir can satisfy it
+	// from disk: a warm store skips ATPG and fault simulation entirely.
+	cache := circuits.NewCache()
+	if *preparedDir != "" {
+		store, err := circuits.NewStore(*preparedDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotsim:", err)
+			os.Exit(1)
+		}
+		cache = circuits.NewCacheWithStore(store)
+	}
+	prep, err := cache.Get(*circuit, cfg.PrepareParams())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)
 		os.Exit(1)
 	}
-	cfg.Circuit = c
-	res, err := experiment.RunTable1(cfg)
+	cfg.Circuit = prep.Circuit
+	res, err := experiment.RunTable1From(prep, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lotsim:", err)
 		os.Exit(1)

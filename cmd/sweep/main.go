@@ -53,6 +53,12 @@ func main() {
 	simWorkers := flag.Int("simworkers", 0, "goroutines for -engine concurrent (0 = GOMAXPROCS)")
 	lotEngineName := flag.String("lotengine", tester.ChipParallel.String(),
 		"ATE lot engine: chip-parallel, chipparallel256, or serial (bit-identical results)")
+	sampleFaults := flag.Int("sample-faults", 0,
+		"prepare each circuit against a deterministic random sample of at most N collapsed fault classes (0 = full universe)")
+	backtrackLimit := flag.Int("backtrack-limit", 0,
+		"PODEM backtrack budget per fault during cleanup ATPG (0 = generator default)")
+	preparedDir := flag.String("prepared-dir", "",
+		"on-disk Prepared store: reuse test programs and coverage ramps across processes (byte-identical results)")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	plot := flag.Bool("plot", true, "append the reject-rate overlay plot (table format only)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: campaign snapshots are written here atomically (shard output file with -shard)")
@@ -73,8 +79,13 @@ func main() {
 		shard:           *shardSpec,
 		merge:           *mergeList,
 	}
+	prep := prepFlags{
+		sampleFaults:   *sampleFaults,
+		backtrackLimit: *backtrackLimit,
+		preparedDir:    *preparedDir,
+	}
 	if err := run(*circuitSpecs, *yields, *n0s, *chips, *coverages, *replicates, *workers, *seed,
-		*random, *physical, *engineName, *simWorkers, *lotEngineName, *format, *plot, job); err != nil {
+		*random, *physical, *engineName, *simWorkers, *lotEngineName, *format, *plot, job, prep); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -90,9 +101,17 @@ type jobFlags struct {
 	merge           string
 }
 
+// prepFlags are the ISCAS-scale preparation knobs: fault sampling, the
+// ATPG backtrack budget, and the on-disk Prepared store.
+type prepFlags struct {
+	sampleFaults   int
+	backtrackLimit int
+	preparedDir    string
+}
+
 func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers int, seed int64,
 	random int, physical bool, engineName string, simWorkers int, lotEngineName, format string, plot bool,
-	job jobFlags) error {
+	job jobFlags, prep prepFlags) error {
 	specs := splitList(circuitSpecs)
 	if len(specs) == 0 {
 		return fmt.Errorf("-circuits: need at least one workload spec")
@@ -140,6 +159,9 @@ func run(circuitSpecs, yields, n0s, chips, coverages string, replicates, workers
 		Engine:         engine,
 		SimWorkers:     simWorkers,
 		LotEngine:      lotEngine,
+		SampleFaults:   prep.sampleFaults,
+		BacktrackLimit: prep.backtrackLimit,
+		PreparedDir:    prep.preparedDir,
 	}
 	// Fail fast on nonsense grids or unknown specs before any ATPG.
 	if err := cfg.Validate(); err != nil {

@@ -39,6 +39,8 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", ".", "directory for campaign checkpoints (named by config fingerprint)")
 	shardSpec := flag.String("shard", "", "run only shard i/n of each campaign, e.g. 1/4 (empty: whole campaigns)")
 	ckptEvery := flag.Int("checkpoint-every", 20, "also checkpoint every N folded replicates (0: only at cell completions)")
+	preparedDir := flag.String("prepared-dir", "",
+		"on-disk Prepared store shared across campaigns and restarts (empty: in-memory only)")
 	flag.Parse()
 
 	sh := campaign.FullShard
@@ -52,7 +54,10 @@ func main() {
 		log.Fatalf("sweepd: %v", err)
 	}
 
-	srv := newServer(*ckptDir, sh, *ckptEvery)
+	srv, err := newServer(*ckptDir, sh, *ckptEvery, *preparedDir)
+	if err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sweepd: %v", err)

@@ -34,6 +34,8 @@ type submitRequest struct {
 	Engine         string    `json:"engine"`
 	SimWorkers     int       `json:"sim_workers"`
 	LotEngine      string    `json:"lot_engine"`
+	BacktrackLimit int       `json:"backtrack_limit"`
+	SampleFaults   int       `json:"sample_faults"`
 }
 
 func (r submitRequest) config(cache *circuits.Cache) (sweep.Config, error) {
@@ -50,6 +52,8 @@ func (r submitRequest) config(cache *circuits.Cache) (sweep.Config, error) {
 		Seed:           r.Seed,
 		Physical:       r.Physical,
 		SimWorkers:     r.SimWorkers,
+		BacktrackLimit: r.BacktrackLimit,
+		SampleFaults:   r.SampleFaults,
 	}
 	if r.Engine != "" {
 		engine, err := faultsim.ParseEngine(r.Engine)
@@ -236,10 +240,18 @@ type server struct {
 	wg            sync.WaitGroup
 }
 
-func newServer(ckptDir string, shard campaign.Shard, ckptEvery int) *server {
+func newServer(ckptDir string, shard campaign.Shard, ckptEvery int, preparedDir string) (*server, error) {
+	cache := circuits.NewCache()
+	if preparedDir != "" {
+		store, err := circuits.NewStore(preparedDir)
+		if err != nil {
+			return nil, err
+		}
+		cache = circuits.NewCacheWithStore(store)
+	}
 	s := &server{
 		mux:           http.NewServeMux(),
-		cache:         circuits.NewCache(),
+		cache:         cache,
 		ckptDir:       ckptDir,
 		shard:         shard,
 		ckptEvery:     ckptEvery,
@@ -252,7 +264,7 @@ func newServer(ckptDir string, shard campaign.Shard, ckptEvery int) *server {
 	s.mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /campaigns/{id}/shard", s.handleShard)
-	return s
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -110,6 +110,15 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want jobState) stat
 	return statusResponse{}
 }
 
+func newTestServer(t *testing.T, dir string, sh campaign.Shard) *server {
+	t.Helper()
+	srv, err := newServer(dir, sh, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func fetch(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -123,7 +132,7 @@ func fetch(t *testing.T, url string) (int, string) {
 }
 
 func TestSubmitStatusResults(t *testing.T) {
-	srv := newServer(t.TempDir(), campaign.FullShard, 0)
+	srv := newTestServer(t, t.TempDir(), campaign.FullShard)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -166,7 +175,7 @@ func TestSubmitStatusResults(t *testing.T) {
 }
 
 func TestStreamTightensMonotonically(t *testing.T) {
-	srv := newServer(t.TempDir(), campaign.FullShard, 0)
+	srv := newTestServer(t, t.TempDir(), campaign.FullShard)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -223,7 +232,7 @@ func TestStreamTightensMonotonically(t *testing.T) {
 }
 
 func TestErrorPaths(t *testing.T) {
-	srv := newServer(t.TempDir(), campaign.FullShard, 0)
+	srv := newTestServer(t, t.TempDir(), campaign.FullShard)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -267,7 +276,7 @@ func TestErrorPaths(t *testing.T) {
 
 func TestGracefulShutdownDrainsAndResumes(t *testing.T) {
 	dir := t.TempDir()
-	srv := newServer(dir, campaign.FullShard, 0)
+	srv := newTestServer(t, dir, campaign.FullShard)
 	ts := httptest.NewServer(srv)
 
 	// Submit and immediately begin shutdown: the interrupt fires while
@@ -301,7 +310,7 @@ func TestGracefulShutdownDrainsAndResumes(t *testing.T) {
 
 	// A fresh daemon on the same checkpoint directory resumes the
 	// campaign on resubmit and lands on the in-process bytes.
-	srv2 := newServer(dir, campaign.FullShard, 0)
+	srv2 := newTestServer(t, dir, campaign.FullShard)
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 	st2 := submit(t, ts2, testBody())
@@ -327,7 +336,7 @@ func TestShardedDaemonsMergeToSerialBytes(t *testing.T) {
 	var firstTS *httptest.Server
 	var firstID string
 	for i := 0; i < n; i++ {
-		srv := newServer(t.TempDir(), campaign.Shard{Index: i, Count: n}, 0)
+		srv := newTestServer(t, t.TempDir(), campaign.Shard{Index: i, Count: n})
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
 		st := submit(t, ts, testBody())

@@ -145,14 +145,43 @@ func CleanupTestsEngine(c *netlist.Circuit, base []logicsim.Pattern, engine faul
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("atpg: invalid circuit: %w", err)
 	}
+	reps := fault.Reps(fault.BuildUniverse(c).Collapsed)
+	patterns, _, err := CleanupTestsBudget(c, base, reps, 0, engine, opt)
+	return patterns, err
+}
+
+// Tally is the per-fault ATPG outcome accounting over one target fault
+// list: how many faults the final pattern set detects, how many PODEM
+// proved untestable, and how many it abandoned at the backtrack budget.
+// The three buckets partition the fault list.
+type Tally struct {
+	Faults     int `json:"faults"`
+	Detected   int `json:"detected"`
+	Untestable int `json:"untestable"`
+	Aborted    int `json:"aborted"`
+}
+
+// CleanupTestsBudget is the accounting core of the cleanup pass: it
+// targets an explicit fault list (the caller's collapsed universe, or a
+// sample of it), bounds PODEM to backtrackLimit backtracks per fault
+// (0 = the generator's 10000 default), and reports the outcome tally
+// instead of silently skipping untestable and aborted faults. The
+// pattern set is identical to CleanupTestsEngine's when given the full
+// collapsed list and a zero budget.
+func CleanupTestsBudget(c *netlist.Circuit, base []logicsim.Pattern, reps []fault.Fault, backtrackLimit int, engine faultsim.Engine, opt faultsim.Options) ([]logicsim.Pattern, Tally, error) {
+	if err := c.Validate(); err != nil {
+		return nil, Tally{}, fmt.Errorf("atpg: invalid circuit: %w", err)
+	}
+	if backtrackLimit < 0 {
+		return nil, Tally{}, fmt.Errorf("atpg: backtrack limit must be >= 0, got %d", backtrackLimit)
+	}
 	patterns := base
-	u := fault.BuildUniverse(c)
-	reps := fault.Reps(u.Collapsed)
+	tally := Tally{Faults: len(reps)}
 	detected := make([]bool, len(reps))
-	if len(patterns) > 0 {
+	if len(patterns) > 0 && len(reps) > 0 {
 		res, err := faultsim.RunOpts(c, reps, patterns, engine, opt)
 		if err != nil {
-			return nil, err
+			return nil, Tally{}, err
 		}
 		for fi, d := range res.FirstDetect {
 			detected[fi] = d != faultsim.NotDetected
@@ -160,14 +189,26 @@ func CleanupTestsEngine(c *netlist.Circuit, base []logicsim.Pattern, engine faul
 	}
 	gen, err := NewPodem(c)
 	if err != nil {
-		return nil, err
+		return nil, Tally{}, err
 	}
+	gen.BacktrackLimit = backtrackLimit
+	// Aborts are provisional: a fault abandoned at its own budget may
+	// still fall to a later fault's pattern during dropping, so the
+	// abort bucket is settled only after the loop, over the faults that
+	// stayed undetected. Untestable is a proof and final immediately.
+	aborted := make([]bool, len(reps))
 	for fi, f := range reps {
 		if detected[fi] {
 			continue
 		}
 		pattern, status := gen.Generate(f)
 		if status != Detected {
+			switch status {
+			case Untestable:
+				tally.Untestable++
+			case Aborted:
+				aborted[fi] = true
+			}
 			continue
 		}
 		patterns = append(patterns, pattern)
@@ -181,7 +222,7 @@ func CleanupTestsEngine(c *netlist.Circuit, base []logicsim.Pattern, engine faul
 		}
 		one, err := faultsim.RunOpts(c, remaining, []logicsim.Pattern{pattern}, engine, opt)
 		if err != nil {
-			return nil, err
+			return nil, Tally{}, err
 		}
 		for ri, d := range one.FirstDetect {
 			if d != faultsim.NotDetected {
@@ -189,5 +230,13 @@ func CleanupTestsEngine(c *netlist.Circuit, base []logicsim.Pattern, engine faul
 			}
 		}
 	}
-	return patterns, nil
+	for fi, d := range detected {
+		switch {
+		case d:
+			tally.Detected++
+		case aborted[fi]:
+			tally.Aborted++
+		}
+	}
+	return patterns, tally, nil
 }

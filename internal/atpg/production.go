@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
@@ -99,4 +100,21 @@ func ProductionTestsEngine(c *netlist.Circuit, lowWeight, uniform int, seed int6
 		return nil, err
 	}
 	return CleanupTestsEngine(c, base, engine, opt)
+}
+
+// ProductionTestsBudget is ProductionTestsEngine with an explicit
+// target fault list and a per-fault PODEM backtrack budget, returning
+// the outcome tally. It is the circuits-layer staged-pipeline entry
+// point: sampling hands it a subset of the collapsed universe, and the
+// budget bounds the worst-case cleanup cost on LSI-scale circuits
+// instead of burning the 10k-backtrack default on every hard fault.
+func ProductionTestsBudget(c *netlist.Circuit, lowWeight, uniform int, seed int64, reps []fault.Fault, backtrackLimit int, engine faultsim.Engine, opt faultsim.Options) ([]logicsim.Pattern, Tally, error) {
+	if err := c.Validate(); err != nil {
+		return nil, Tally{}, fmt.Errorf("atpg: invalid circuit: %w", err)
+	}
+	base, err := ProductionPatterns(len(c.Inputs), lowWeight, uniform, seed)
+	if err != nil {
+		return nil, Tally{}, err
+	}
+	return CleanupTestsBudget(c, base, reps, backtrackLimit, engine, opt)
 }

@@ -141,6 +141,22 @@ func readSnapshotFile(path, wantSchema string) (json.RawMessage, error) {
 	return env.Body, nil
 }
 
+// WriteEnvelope marshals body into a checksummed, schema-versioned
+// envelope and writes it atomically (temp file + sync + rename). It is
+// the snapshot-file format opened up for other persistent artifacts —
+// the circuits Prepared store reuses it so every on-disk artifact in
+// the repo shares one corruption-detection story.
+func WriteEnvelope(path, schema string, body any) error {
+	return writeSnapshotFile(path, schema, body)
+}
+
+// ReadEnvelope opens, checksums, and version-checks an envelope file
+// written by WriteEnvelope, returning the verified body bytes. Failures
+// match ErrCorrupt / ErrSchema via errors.Is.
+func ReadEnvelope(path, wantSchema string) (json.RawMessage, error) {
+	return readSnapshotFile(path, wantSchema)
+}
+
 // WriteCheckpoint atomically persists a campaign checkpoint.
 func WriteCheckpoint(path string, ck *Checkpoint) error {
 	return writeSnapshotFile(path, CheckpointSchema, ck)

@@ -10,11 +10,19 @@ import (
 // worker goroutines builds it exactly once. Concurrent Get calls for
 // the same key block on one build; distinct keys build in parallel.
 //
-// The zero value is not usable; call NewCache.
+// With a Store attached, the cache consults the on-disk artifact
+// before building: a hit counts as a load (not a build), a miss builds
+// and persists, and a corrupt or mismatched artifact is rebuilt
+// cleanly and overwritten. The Builds/Loads counters let tests pin the
+// warm-store contract ("second process: zero rebuilds").
+//
+// The zero value is not usable; call NewCache or NewCacheWithStore.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 	builds  atomic.Int64
+	loads   atomic.Int64
+	store   *Store
 }
 
 type cacheKey struct {
@@ -28,9 +36,17 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty in-memory cache.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// NewCacheWithStore returns a cache backed by an on-disk Prepared
+// store; a nil store degrades to NewCache.
+func NewCacheWithStore(store *Store) *Cache {
+	ca := NewCache()
+	ca.store = store
+	return ca
 }
 
 // Get returns the Prepared artifact for (spec, p), building it on first
@@ -46,12 +62,44 @@ func (ca *Cache) Get(spec string, p Params) (*Prepared, error) {
 	}
 	ca.mu.Unlock()
 	e.once.Do(func() {
-		ca.builds.Add(1)
-		e.prep, e.err = PrepareSpec(spec, p)
+		e.prep, e.err = ca.fill(spec, p)
 	})
 	return e.prep, e.err
+}
+
+// fill performs the cold path for one cache entry: store load if a
+// store is attached (any store error — miss, corruption, schema skew —
+// falls through to a clean rebuild), then build and persist.
+func (ca *Cache) fill(spec string, p Params) (*Prepared, error) {
+	if ca.store == nil {
+		ca.builds.Add(1)
+		return PrepareSpec(spec, p)
+	}
+	c, err := Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if pr, err := ca.store.Load(c, p); err == nil {
+		ca.loads.Add(1)
+		return pr, nil
+	}
+	// A miss is the expected cold path; a corrupt, tampered, or
+	// schema-skewed artifact is rebuilt cleanly and overwritten below.
+	ca.builds.Add(1)
+	pr, err := Prepare(c, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ca.store.Save(pr); err != nil {
+		return nil, err
+	}
+	return pr, nil
 }
 
 // Builds reports how many cold preparations the cache has performed —
 // the counter the exactly-once-per-campaign tests pin.
 func (ca *Cache) Builds() int { return int(ca.builds.Load()) }
+
+// Loads reports how many preparations were served from the on-disk
+// store instead of being built — the counter the warm-store tests pin.
+func (ca *Cache) Loads() int { return int(ca.loads.Load()) }

@@ -79,16 +79,16 @@ func TestPreparedShape(t *testing.T) {
 	if prep.Circuit.Name != "mul4" {
 		t.Errorf("circuit %q", prep.Circuit.Name)
 	}
-	if prep.FaultCount() == 0 || len(prep.Patterns) == 0 || len(prep.Curve) == 0 {
-		t.Fatalf("empty artifact: %d faults, %d patterns, %d curve points",
-			prep.FaultCount(), len(prep.Patterns), len(prep.Curve))
+	if prep.FaultCount() == 0 || len(prep.Patterns) == 0 || prep.Curve.Steps == 0 {
+		t.Fatalf("empty artifact: %d faults, %d patterns, %d ramp steps",
+			prep.FaultCount(), len(prep.Patterns), prep.Curve.Steps)
 	}
 	if fc := prep.FinalCoverage(); !(fc > 0.5 && fc <= 1) {
 		t.Errorf("final coverage %v", fc)
 	}
 	// The ramp is monotone and ends at the final coverage.
 	last := 0.0
-	for _, pt := range prep.Curve {
+	for _, pt := range prep.Curve.Points {
 		if pt.Coverage < last {
 			t.Fatalf("ramp decreases at %+v", pt)
 		}

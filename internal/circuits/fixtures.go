@@ -1,0 +1,67 @@
+package circuits
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Embedded ISCAS-scale .bench fixtures: frozen renderings of the
+// lsi<N> generator, checked in so the exact netlist bytes are pinned
+// independently of any future generator change — "lsi1k" today and
+// "lsi1k" in five years are the same circuit, while "lsi1000" tracks
+// the generator.
+//
+//go:embed fixtures/*.bench
+var fixtureFS embed.FS
+
+// fixture is one embedded workload of the registry.
+type fixture struct {
+	spec string
+	path string
+	doc  string
+}
+
+// fixtureList enumerates the embedded workloads, in the order List
+// prints them.
+func fixtureList() []fixture {
+	return []fixture{
+		{"lsi1k", "fixtures/lsi1k.bench", "embedded 1k-gate LSI netlist (frozen lsi1000)"},
+		{"lsi4k", "fixtures/lsi4k.bench", "embedded 4k-gate LSI netlist (frozen lsi4000)"},
+	}
+}
+
+// resolveFixture parses an embedded fixture. The middle return is
+// whether spec names a fixture at all.
+func resolveFixture(spec string) (*netlist.Circuit, bool, error) {
+	for _, f := range fixtureList() {
+		if f.spec != spec {
+			continue
+		}
+		data, err := fixtureFS.ReadFile(f.path)
+		if err != nil {
+			return nil, true, fmt.Errorf("circuits: fixture %s: %w", spec, err)
+		}
+		c, err := netlist.ParseBench(f.spec, bytes.NewReader(data))
+		if err != nil {
+			return nil, true, fmt.Errorf("circuits: fixture %s: %w", spec, err)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, true, fmt.Errorf("circuits: fixture %s: %w", spec, err)
+		}
+		return c, true, nil
+	}
+	return nil, false, nil
+}
+
+// isFixture reports whether spec names an embedded fixture.
+func isFixture(spec string) bool {
+	for _, f := range fixtureList() {
+		if f.spec == spec {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,10 @@
 //	datapath<N>      N-bit composed datapath
 //	rand<seed>       pseudo-random circuit (16 inputs, 400 gates,
 //	                 12 outputs), reproducible from the seed
+//	lsi<N>           ISCAS'85-class pseudo-random netlist of roughly N
+//	                 gates (N >= 100; 1k–10k is the LSI range)
+//	lsi1k, lsi4k     embedded .bench fixtures: frozen renderings of
+//	                 lsi1000 / lsi4000, pinned byte-for-byte
 //	bench:<path>     circuit in ISCAS .bench format; <path> may be a
 //	                 file, a directory (expands to every *.bench file
 //	                 inside, sorted), or a glob pattern
@@ -67,6 +71,8 @@ func builtins() []builtin {
 			func(n int) (*netlist.Circuit, error) {
 				return netlist.RandomCircuit(fmt.Sprintf("rand%d", n), 16, 400, 12, int64(n))
 			}},
+		{"lsi", "ISCAS'85-class pseudo-random netlist of ~N gates (N >= 100; 1k–10k is the LSI range)",
+			netlist.LSIChip},
 	}
 }
 
@@ -83,6 +89,9 @@ func Resolve(spec string) (*netlist.Circuit, error) {
 	}
 	if spec == "c17" {
 		return netlist.C17(), nil
+	}
+	if c, ok, err := resolveFixture(spec); ok {
+		return c, err
 	}
 	for _, b := range builtins() {
 		var n int
@@ -179,7 +188,7 @@ func ResolveAll(specs []string) ([]*netlist.Circuit, error) {
 // synthesizing anything. Parameter-range errors (a width the generator
 // rejects) still surface at Resolve time.
 func checkBuiltin(spec string) error {
-	if spec == "c17" {
+	if spec == "c17" || isFixture(spec) {
 		return nil
 	}
 	for _, b := range builtins() {
@@ -229,6 +238,9 @@ func List() string {
 	sb.WriteString("  c17            ISCAS-85 c17 benchmark (6 NAND gates)\n")
 	for _, b := range builtins() {
 		fmt.Fprintf(&sb, "  %-14s %s\n", b.prefix+"<N>", b.doc)
+	}
+	for _, f := range fixtureList() {
+		fmt.Fprintf(&sb, "  %-14s %s\n", f.spec, f.doc)
 	}
 	sb.WriteString("  bench:<path>   ISCAS .bench netlist; a directory or glob expands\n")
 	sb.WriteString("                 to every matching *.bench file\n")

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampleCoverageCI is the sampling-error bound for coverage estimated
+// from a fault sample, the procedure the paper uses on its real chip:
+// draw sample faults without replacement from a universe of size
+// universe, fault-simulate only those, observe that the test program
+// detects detected of them. The unknown is D, the number of faults of
+// the full universe the program would detect; the observed count is
+// hypergeometric, X ~ Hypergeometric{N: universe, K: D, M: sample}.
+// SampleCoverageCI inverts the two exact tails (Clopper–Pearson style)
+// at confidence conf and returns the bounds on true coverage D/N:
+//
+//	lo = min{D : P(X >= detected | D) > (1-conf)/2} / N
+//	hi = max{D : P(X <= detected | D) > (1-conf)/2} / N
+//
+// Both tails are monotone in D, so each bound is a binary search over
+// D costing O(log N) CDF evaluations. Sampling the whole universe
+// collapses the interval to the exact coverage.
+func SampleCoverageCI(universe, sample, detected int, conf float64) (lo, hi float64, err error) {
+	if universe <= 0 {
+		return 0, 0, fmt.Errorf("dist: sample-coverage universe must be positive, got %d", universe)
+	}
+	if sample <= 0 || sample > universe {
+		return 0, 0, fmt.Errorf("dist: sample size must be in [1, %d], got %d", universe, sample)
+	}
+	if detected < 0 || detected > sample {
+		return 0, 0, fmt.Errorf("dist: detected count must be in [0, %d], got %d", sample, detected)
+	}
+	if !(conf > 0 && conf < 1) {
+		return 0, 0, fmt.Errorf("dist: confidence must be in (0,1), got %v", conf)
+	}
+	alpha := (1 - conf) / 2
+	// D is bracketed by what the sample itself pins down: at least the
+	// detected sampled faults, at most everything but the undetected
+	// sampled faults.
+	dMin, dMax := detected, universe-(sample-detected)
+	upperTail := func(d int) float64 {
+		// P(X >= detected | D = d), nondecreasing in d.
+		if detected == 0 {
+			return 1
+		}
+		return 1 - Hypergeometric{N: universe, K: d, M: sample}.CDF(detected-1)
+	}
+	lowerTail := func(d int) float64 {
+		// P(X <= detected | D = d), nonincreasing in d.
+		return Hypergeometric{N: universe, K: d, M: sample}.CDF(detected)
+	}
+	dLo := searchMin(dMin, dMax, func(d int) bool { return upperTail(d) > alpha })
+	dHi := searchMax(dMin, dMax, func(d int) bool { return lowerTail(d) > alpha })
+	n := float64(universe)
+	lo = float64(dLo) / n
+	hi = float64(dHi) / n
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return 0, 0, fmt.Errorf("dist: sample-coverage CI inversion failed (N=%d m=%d k=%d)", universe, sample, detected)
+	}
+	return lo, hi, nil
+}
+
+// searchMin returns the smallest d in [lo, hi] with ok(d); ok is
+// monotone (false.. then true..), and ok(hi) is guaranteed by the
+// support bracket.
+func searchMin(lo, hi int, ok func(int) bool) int {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchMax returns the largest d in [lo, hi] with ok(d); ok is
+// monotone (true.. then false..), and ok(lo) is guaranteed by the
+// support bracket.
+func searchMax(lo, hi int, ok func(int) bool) int {
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSampleCoverageCIExactWhenCensus pins the degenerate case: a
+// sample of the whole universe is a census, so the interval collapses
+// to the exact coverage.
+func TestSampleCoverageCIExactWhenCensus(t *testing.T) {
+	lo, hi, err := SampleCoverageCI(500, 500, 431, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 431.0 / 500
+	if lo != want || hi != want {
+		t.Fatalf("census CI = [%v, %v], want collapsed at %v", lo, hi, want)
+	}
+}
+
+// TestSampleCoverageCIBracketsAndTightens checks the interval contains
+// the plug-in estimate, is inside [0,1], and shrinks as the sample
+// grows at a fixed detected fraction.
+func TestSampleCoverageCIBracketsAndTightens(t *testing.T) {
+	prev := 1.0
+	for _, m := range []int{50, 200, 1000, 5000} {
+		k := m * 4 / 5
+		lo, hi, err := SampleCoverageCI(10000, m, k, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := float64(k) / float64(m)
+		if !(lo >= 0 && lo <= est && est <= hi && hi <= 1) {
+			t.Fatalf("m=%d: CI [%v, %v] does not bracket estimate %v", m, lo, hi, est)
+		}
+		width := hi - lo
+		if width >= prev {
+			t.Fatalf("m=%d: CI width %v did not shrink from %v", m, width, prev)
+		}
+		prev = width
+	}
+}
+
+// TestSampleCoverageCICovers is the frequentist contract: over repeated
+// sampling from a universe with known true coverage, the 95% interval
+// must cover the truth about 95% of the time (well above 90% here, and
+// never close to breaking, with 400 trials).
+func TestSampleCoverageCICovers(t *testing.T) {
+	const (
+		universe = 2000
+		trueD    = 1400
+		sample   = 150
+		trials   = 400
+	)
+	rng := rand.New(rand.NewSource(42))
+	truth := float64(trueD) / float64(universe)
+	covered := 0
+	idx := make([]int, universe)
+	for trial := 0; trial < trials; trial++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		k := 0
+		for i := 0; i < sample; i++ {
+			j := i + rng.Intn(universe-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			if idx[i] < trueD {
+				k++
+			}
+		}
+		lo, hi, err := SampleCoverageCI(universe, sample, k, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= truth && truth <= hi {
+			covered++
+		}
+	}
+	if frac := float64(covered) / trials; frac < 0.90 {
+		t.Fatalf("95%% CI covered the truth in only %.1f%% of %d trials", frac*100, trials)
+	}
+}
+
+// TestSampleCoverageCIRejects covers the argument contract.
+func TestSampleCoverageCIRejects(t *testing.T) {
+	cases := [][3]int{{0, 1, 0}, {10, 0, 0}, {10, 11, 0}, {10, 5, 6}, {10, 5, -1}}
+	for _, c := range cases {
+		if _, _, err := SampleCoverageCI(c[0], c[1], c[2], 0.95); err == nil {
+			t.Fatalf("SampleCoverageCI(%d, %d, %d) accepted invalid arguments", c[0], c[1], c[2])
+		}
+	}
+	if _, _, err := SampleCoverageCI(10, 5, 3, 1.0); err == nil {
+		t.Fatal("confidence 1.0 must be rejected")
+	}
+}

@@ -305,11 +305,12 @@ func TestRunTable1Validation(t *testing.T) {
 }
 
 func TestRampCheckpoints(t *testing.T) {
-	curve := make([]faultsim.CoveragePoint, 100)
-	for i := range curve {
-		curve[i] = faultsim.CoveragePoint{Pattern: i, Coverage: float64(i+1) / 100}
+	points := make([]faultsim.CoveragePoint, 100)
+	for i := range points {
+		points[i] = faultsim.CoveragePoint{Pattern: i, Coverage: float64(i+1) / 100}
 	}
-	cps := rampCheckpoints(curve, 10)
+	ramp := faultsim.Ramp{Points: points, Steps: 100}
+	cps := rampCheckpoints(ramp, 10)
 	if len(cps) < 9 || len(cps) > 11 {
 		t.Fatalf("%d checkpoints", len(cps))
 	}
@@ -319,9 +320,9 @@ func TestRampCheckpoints(t *testing.T) {
 		}
 	}
 	if cps[len(cps)-1] != 99 {
-		t.Error("last checkpoint should be the final pattern")
+		t.Error("last checkpoint should be the final step")
 	}
-	if rampCheckpoints(nil, 5) != nil {
-		t.Error("empty curve should give nil")
+	if rampCheckpoints(faultsim.Ramp{}, 5) != nil {
+		t.Error("empty ramp should give nil")
 	}
 }

@@ -86,8 +86,9 @@ func (lr *LotRunner) FaultCount() int { return lr.prep.FaultCount() }
 // Patterns returns the number of test patterns in the production set.
 func (lr *LotRunner) Patterns() int { return len(lr.prep.Patterns) }
 
-// Curve returns the strobe-granular cumulative coverage ramp.
-func (lr *LotRunner) Curve() []faultsim.CoveragePoint { return lr.prep.Curve }
+// Curve returns the strobe-granular cumulative coverage ramp
+// (change-point compressed; see faultsim.SparseRamp).
+func (lr *LotRunner) Curve() faultsim.Ramp { return lr.prep.Curve }
 
 // FinalCoverage returns the pattern set's final fault coverage.
 func (lr *LotRunner) FinalCoverage() float64 { return lr.prep.FinalCoverage() }
@@ -164,7 +165,7 @@ func (lr *LotRunner) RunLotWith(ate *tester.ATE, y, n0 float64, chips int, seed 
 		return LotOutcome{}, err
 	}
 	// Reduce to Table 1 format at the precomputed ramp checkpoints.
-	rows, err := tester.FalloutTable(lotRes, lr.prep.Curve, lr.checkpoints)
+	rows, err := tester.FalloutTableRamp(lotRes, lr.prep.Curve, lr.checkpoints)
 	if err != nil {
 		return LotOutcome{}, err
 	}

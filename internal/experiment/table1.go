@@ -51,6 +51,13 @@ type Table1Config struct {
 	// faultsim.Concurrent (0 = GOMAXPROCS); every other engine is
 	// single-threaded and ignores it.
 	SimWorkers int
+	// BacktrackLimit bounds PODEM's per-fault search during cleanup
+	// ATPG (0 = the generator's default).
+	BacktrackLimit int
+	// SampleFaults, when > 0, prepares against a deterministic random
+	// sample of at most this many collapsed fault classes (see
+	// circuits.Params.SampleFaults). Zero means the full universe.
+	SampleFaults int
 	// LotEngine selects the ATE's lot-testing engine. The zero value is
 	// the default chip-parallel engine (good machine + 63 chips in one
 	// word's bit-lanes); tester.Serial is the per-chip oracle, kept as
@@ -79,6 +86,12 @@ func (cfg Table1Config) Validate() error {
 	if cfg.SimWorkers < 0 {
 		return fmt.Errorf("experiment: sim worker count must be >= 0, got %d", cfg.SimWorkers)
 	}
+	if cfg.BacktrackLimit < 0 {
+		return fmt.Errorf("experiment: backtrack limit must be >= 0, got %d", cfg.BacktrackLimit)
+	}
+	if cfg.SampleFaults < 0 {
+		return fmt.Errorf("experiment: fault sample size must be >= 0, got %d", cfg.SampleFaults)
+	}
 	if !cfg.LotEngine.Known() {
 		return fmt.Errorf("experiment: unknown lot engine %v", cfg.LotEngine)
 	}
@@ -94,6 +107,8 @@ func (cfg Table1Config) PrepareParams() circuits.Params {
 		Seed:           cfg.Seed,
 		Engine:         cfg.Engine,
 		SimWorkers:     cfg.SimWorkers,
+		BacktrackLimit: cfg.BacktrackLimit,
+		SampleFaults:   cfg.SampleFaults,
 	}
 }
 
@@ -142,6 +157,21 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 	if err != nil {
 		return Table1Result{}, err
 	}
+	return runTable1(lr, cfg)
+}
+
+// RunTable1From is RunTable1 against an existing Prepared artifact
+// (e.g. one loaded from an on-disk store), skipping the
+// once-per-circuit preparation entirely.
+func RunTable1From(prep *circuits.Prepared, cfg Table1Config) (Table1Result, error) {
+	lr, err := NewLotRunnerFrom(prep, cfg)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return runTable1(lr, cfg)
+}
+
+func runTable1(lr *LotRunner, cfg Table1Config) (Table1Result, error) {
 	outcome, err := lr.RunLot(cfg.Yield, cfg.N0, cfg.Chips, cfg.Seed)
 	if err != nil {
 		return Table1Result{}, err
@@ -200,20 +230,23 @@ func physicalFor(y, n0 float64) (defect.Model, error) {
 // ln is a tiny alias to keep physicalFor readable.
 func ln(x float64) float64 { return math.Log(x) }
 
-// rampCheckpoints picks pattern/step indices near the paper's Table 1
+// rampCheckpoints picks strobe step indices near the paper's Table 1
 // coverage rows (5, 8, 10, 15, 20, 30, 36, 45, 50, 65 percent), plus
 // the final step; targets the ramp never reaches are skipped. k caps
-// the row count.
-func rampCheckpoints(curve []faultsim.CoveragePoint, k int) []int {
-	if len(curve) == 0 {
+// the row count. The ramp is change-point compressed, and coverage
+// only moves at change points, so the first step crossing a target is
+// always a change point — walking Points visits exactly the steps the
+// dense curve would have selected.
+func rampCheckpoints(ramp faultsim.Ramp, k int) []int {
+	if ramp.Steps == 0 {
 		return nil
 	}
 	targets := []float64{0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.36, 0.45, 0.50, 0.65}
 	var out []int
 	ti := 0
-	for i, pt := range curve {
+	for _, pt := range ramp.Points {
 		for ti < len(targets) && pt.Coverage >= targets[ti] {
-			out = append(out, i)
+			out = append(out, pt.Pattern)
 			ti++
 			if len(out) >= k {
 				break
@@ -234,8 +267,8 @@ func rampCheckpoints(curve []faultsim.CoveragePoint, k int) []int {
 		}
 	}
 	out = dedup
-	if len(out) == 0 || out[len(out)-1] != len(curve)-1 {
-		out = append(out, len(curve)-1)
+	if len(out) == 0 || out[len(out)-1] != ramp.Steps-1 {
+		out = append(out, ramp.Steps-1)
 	}
 	return out
 }

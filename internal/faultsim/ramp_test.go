@@ -1,0 +1,98 @@
+package faultsim
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// TestSparseRampMatchesDenseCurve pins the compression's losslessness:
+// for every step of a real strobe-granular program, At must reproduce
+// the dense curve entry, and FirstReaching must return the same first
+// crossing a dense scan finds.
+func TestSparseRampMatchesDenseCurve(t *testing.T) {
+	c, err := netlist.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := fault.Reps(fault.CollapseEquivalence(c, fault.AllFaults(c)))
+	patterns := counting(len(c.Inputs), 40)
+	res, err := RunSteps(c, reps, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := CurveFromResult(res)
+	ramp := SparseRamp(res)
+	if ramp.Steps != res.Patterns {
+		t.Fatalf("ramp.Steps = %d, want %d", ramp.Steps, res.Patterns)
+	}
+	if len(ramp.Points) == 0 || len(ramp.Points) >= len(dense) {
+		t.Fatalf("ramp has %d change points vs %d dense steps — expected real compression", len(ramp.Points), len(dense))
+	}
+	for s := range dense {
+		got := ramp.At(s)
+		if got.Pattern != s || got.Detected != dense[s].Detected || got.Coverage != dense[s].Coverage {
+			t.Fatalf("At(%d) = %+v, dense = %+v", s, got, dense[s])
+		}
+	}
+	for _, target := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, ramp.Final().Coverage} {
+		want := -1
+		for s, pt := range dense {
+			if pt.Coverage >= target {
+				want = s
+				break
+			}
+		}
+		got, ok := ramp.FirstReaching(target)
+		if want < 0 {
+			if ok {
+				t.Fatalf("FirstReaching(%v) = %+v, dense scan never crosses", target, got)
+			}
+			continue
+		}
+		if !ok || got.Pattern != want || got.Coverage != dense[want].Coverage {
+			t.Fatalf("FirstReaching(%v) = %+v ok=%v, dense scan crosses at step %d (%+v)", target, got, ok, want, dense[want])
+		}
+	}
+	if _, ok := ramp.FirstReaching(ramp.Final().Coverage + 1e-9); ok {
+		t.Fatal("FirstReaching above final coverage must report ok=false")
+	}
+	final := ramp.Final()
+	last := dense[len(dense)-1]
+	if final.Detected != last.Detected || final.Coverage != last.Coverage {
+		t.Fatalf("Final() = %+v, dense tail = %+v", final, last)
+	}
+}
+
+// TestSparseRampEmpty covers the program that detects nothing.
+func TestSparseRampEmpty(t *testing.T) {
+	res := Result{FirstDetect: []int{NotDetected, NotDetected}, Patterns: 6}
+	ramp := SparseRamp(res)
+	if len(ramp.Points) != 0 || ramp.Steps != 6 {
+		t.Fatalf("ramp = %+v, want no points over 6 steps", ramp)
+	}
+	if at := ramp.At(3); at.Detected != 0 || at.Coverage != 0 || at.Pattern != 3 {
+		t.Fatalf("At(3) = %+v, want zero floor", at)
+	}
+	if _, ok := ramp.FirstReaching(0.1); ok {
+		t.Fatal("FirstReaching on an empty ramp must report ok=false")
+	}
+	if f := ramp.Final(); f != (CoveragePoint{}) {
+		t.Fatalf("Final() = %+v, want zero", f)
+	}
+}
+
+// counting builds a deterministic counting pattern block.
+func counting(width, n int) []logicsim.Pattern {
+	out := make([]logicsim.Pattern, n)
+	for i := range out {
+		p := make(logicsim.Pattern, width)
+		for j := 0; j < width && j < 63; j++ {
+			p[j] = i>>uint(j)&1 == 1
+		}
+		out[i] = p
+	}
+	return out
+}

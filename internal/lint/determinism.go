@@ -13,6 +13,7 @@ import (
 var determinismScopes = []string{
 	"internal/sweep",
 	"internal/campaign",
+	"internal/circuits",
 	"internal/dist",
 	"internal/estimate",
 	"cmd/sweepd",
@@ -33,9 +34,9 @@ var globalRandAllowed = map[string]bool{
 var determinismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, the global math/rand source, and un-annotated " +
-		"map iteration in the result-producing packages (sweep, campaign, dist, " +
-		"estimate, sweepd): results must be byte-identical for any -workers and " +
-		"across crash/resume",
+		"map iteration in the result-producing packages (sweep, campaign, circuits, " +
+		"dist, estimate, sweepd): results must be byte-identical for any -workers, " +
+		"across crash/resume, and across cold/warm Prepared stores",
 	Run: runDeterminism,
 }
 

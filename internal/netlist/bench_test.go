@@ -156,3 +156,27 @@ func TestWriteBenchRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkParseBench10k measures cold-loading an LSI-scale netlist
+// from .bench text — the satellite target is single-digit milliseconds
+// for 10k gates, which the pre-sized tables and allocation-free line
+// walk provide. Run with -benchmem to see the per-parse churn.
+func BenchmarkParseBench10k(b *testing.B) {
+	c, err := LSIChip(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		b.Fatal(err)
+	}
+	src := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseBench("lsi10000", strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(c.Gates)), "gates")
+}

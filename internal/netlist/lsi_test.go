@@ -1,0 +1,71 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLSIChipShape checks the generator hits the ISCAS'85-family shape
+// contract across the 1k–10k range: gate count near n, input/output
+// counts near the c7552 ratios, real depth, reconvergent fanout stems,
+// and no dead logic (every input consumed, every non-output gate
+// feeding something).
+func TestLSIChipShape(t *testing.T) {
+	for _, n := range []int{1000, 3500, 7552} {
+		c, err := LSIChip(n)
+		if err != nil {
+			t.Fatalf("LSIChip(%d): %v", n, err)
+		}
+		st, err := c.ComputeStats()
+		if err != nil {
+			t.Fatalf("LSIChip(%d): %v", n, err)
+		}
+		logic := st.Gates - st.Inputs
+		if logic < n || logic > n+n/10 {
+			t.Fatalf("lsi%d has %d logic gates, want [%d, %d]", n, logic, n, n+n/10)
+		}
+		if st.Inputs < n/40 || st.Inputs > n/20 {
+			t.Fatalf("lsi%d has %d inputs, outside the benchmark-family ratio", n, st.Inputs)
+		}
+		if st.Outputs < 8 || st.Outputs > n/20 {
+			t.Fatalf("lsi%d has %d outputs, outside the benchmark-family ratio", n, st.Outputs)
+		}
+		if st.Depth < 10 {
+			t.Fatalf("lsi%d depth %d — locality bias failed to build depth", n, st.Depth)
+		}
+		if st.FanoutStem < n/10 {
+			t.Fatalf("lsi%d has only %d fanout stems — not reconvergent", n, st.FanoutStem)
+		}
+		isOutput := make(map[int]bool, len(c.Outputs))
+		for _, id := range c.Outputs {
+			isOutput[id] = true
+		}
+		for _, g := range c.Gates {
+			if len(g.Fanout) == 0 && !isOutput[g.ID] {
+				t.Fatalf("lsi%d gate %s dangles: dead logic escaped the collector sweep", n, g.Name)
+			}
+		}
+	}
+}
+
+// TestLSIChipDeterministic pins reproducibility: lsi<N> must name one
+// exact netlist, byte-for-byte, across calls.
+func TestLSIChipDeterministic(t *testing.T) {
+	render := func() string {
+		c, err := LSIChip(1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := c.WriteBench(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("LSIChip(1200) is not deterministic")
+	}
+	if _, err := LSIChip(99); err == nil {
+		t.Fatal("LSIChip must reject sub-100-gate sizes")
+	}
+}

@@ -132,6 +132,21 @@ func New(name string) *Circuit {
 	return &Circuit{Name: name, byName: make(map[string]int)}
 }
 
+// NewSized is New with a capacity hint for the expected gate count, so
+// bulk builders (ParseBench, the LSI-scale generators) pay one
+// allocation for the gate table and name index instead of O(log n)
+// growth-and-rehash cycles.
+func NewSized(name string, gates int) *Circuit {
+	if gates < 0 {
+		gates = 0
+	}
+	return &Circuit{
+		Name:   name,
+		Gates:  make([]Gate, 0, gates),
+		byName: make(map[string]int, gates),
+	}
+}
+
 // AddGate appends a gate with the given name, type, and fanin names.
 // Fanin gates must already exist. It returns the new gate's ID.
 func (c *Circuit) AddGate(name string, t GateType, fanin ...string) (int, error) {

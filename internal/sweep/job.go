@@ -90,8 +90,11 @@ func fingerprint(units []string, cfg Config) string {
 		RandomPatterns int
 		Seed           int64
 		Physical       bool
+		BacktrackLimit int `json:",omitempty"`
+		SampleFaults   int `json:",omitempty"`
 	}{units, cfg.Yields, cfg.N0s, cfg.LotSizes, cfg.Coverages,
-		cfg.Replicates, cfg.RandomPatterns, cfg.Seed, cfg.Physical}
+		cfg.Replicates, cfg.RandomPatterns, cfg.Seed, cfg.Physical,
+		cfg.BacktrackLimit, cfg.SampleFaults}
 	b, err := json.Marshal(canon)
 	if err != nil {
 		// Plain slices of numbers and strings cannot fail to marshal.
@@ -444,13 +447,19 @@ func (s *Sweeper) ResultFrom(snaps []campaign.CellSnapshot) (*Result, error) {
 	}
 	res := &Result{Config: s.cfg}
 	for _, wl := range s.workloads {
+		prep := wl.lr.Prepared()
 		res.Workloads = append(res.Workloads, WorkloadInfo{
-			Spec:          wl.spec,
-			Name:          wl.lr.Circuit().Name,
-			Stats:         wl.lr.Stats(),
-			FaultCount:    wl.lr.FaultCount(),
-			PatternCount:  wl.lr.Patterns(),
-			FinalCoverage: wl.lr.FinalCoverage(),
+			Spec:           wl.spec,
+			Name:           wl.lr.Circuit().Name,
+			Stats:          wl.lr.Stats(),
+			FaultCount:     wl.lr.FaultCount(),
+			PatternCount:   wl.lr.Patterns(),
+			FinalCoverage:  wl.lr.FinalCoverage(),
+			UniverseSize:   prep.UniverseSize,
+			Sampled:        prep.Sampled,
+			CoverageCILow:  prep.CoverageCILow,
+			CoverageCIHigh: prep.CoverageCIHigh,
+			ATPG:           prep.ATPG,
 		})
 	}
 	for ci, cell := range s.cells {

@@ -19,6 +19,14 @@ func (r *Result) Table() string {
 	for _, w := range r.Workloads {
 		fmt.Fprintf(&sb, "  %s (%s): collapsed faults %d, patterns %d, final coverage %.4f\n",
 			w.Name, w.Stats, w.FaultCount, w.PatternCount, w.FinalCoverage)
+		if w.Sampled {
+			fmt.Fprintf(&sb, "    sampled %d of %d fault classes; true coverage in [%.4f, %.4f] at 95%%\n",
+				w.FaultCount, w.UniverseSize, w.CoverageCILow, w.CoverageCIHigh)
+		}
+		if w.ATPG.Untestable > 0 || w.ATPG.Aborted > 0 {
+			fmt.Fprintf(&sb, "    ATPG: %d detected, %d untestable, %d aborted at the backtrack budget\n",
+				w.ATPG.Detected, w.ATPG.Untestable, w.ATPG.Aborted)
+		}
 	}
 	for _, cell := range r.Cells {
 		fmt.Fprintf(&sb, "\ncell %s y=%.3g n0=%.3g chips=%d — tested yield %.4f (lot yield %.4f), fit n0 %.2f [%.2f, %.2f] over %d fits (truth %.2f)\n",

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+)
+
+// TestSweepColdWarmStoreByteIdentical is the cross-process acceptance
+// contract of the Prepared store: a campaign run against a cold on-disk
+// store and a second "process" (fresh cache, same directory) must emit
+// byte-identical CSV — and the second run must not rebuild anything,
+// pinned through the Builds/Loads counters.
+func TestSweepColdWarmStoreByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	store1, err := circuits.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := circuits.NewCacheWithStore(store1)
+	cfg := smallConfig(t)
+	cfg.Cache = cold
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Builds() != len(cfg.Circuits) || cold.Loads() != 0 {
+		t.Fatalf("cold run: builds=%d loads=%d, want %d/0", cold.Builds(), cold.Loads(), len(cfg.Circuits))
+	}
+
+	store2, err := circuits.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := circuits.NewCacheWithStore(store2)
+	cfg2 := smallConfig(t)
+	cfg2.Cache = warm
+	cfg2.Workers = 7 // scheduling must stay irrelevant to the bytes
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Builds() != 0 || warm.Loads() != len(cfg.Circuits) {
+		t.Fatalf("warm run: builds=%d loads=%d, want 0/%d", warm.Builds(), warm.Loads(), len(cfg.Circuits))
+	}
+	if csv1, csv2 := res1.CSV(), res2.CSV(); csv1 != csv2 {
+		t.Errorf("warm-store CSV differs from cold:\n--- cold ---\n%s--- warm ---\n%s", csv1, csv2)
+	}
+}
+
+// TestSweepPreparedDirConfig exercises the PreparedDir plumbing (the
+// path the CLIs use): New builds the store-backed cache itself, and two
+// sweeps over the same directory stay byte-identical.
+func TestSweepPreparedDirConfig(t *testing.T) {
+	dir := t.TempDir()
+	csvs := make([]string, 2)
+	for i := range csvs {
+		cfg := smallConfig(t)
+		cfg.Circuits = []string{"mul4"}
+		cfg.PreparedDir = dir
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[i] = res.CSV()
+	}
+	if csvs[0] != csvs[1] {
+		t.Errorf("PreparedDir runs differ:\n%s\nvs\n%s", csvs[0], csvs[1])
+	}
+}
+
+// TestSweepSampledWorkloadInfo checks that fault sampling is carried
+// into the campaign's workload report: sample size as the working
+// universe, the full universe size alongside, and a non-degenerate
+// whole-universe coverage interval.
+func TestSweepSampledWorkloadInfo(t *testing.T) {
+	cfg := smallConfig(t)
+	cfg.Circuits = []string{"mul4"}
+	cfg.SampleFaults = 15
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 1 {
+		t.Fatalf("%d workloads", len(res.Workloads))
+	}
+	w := res.Workloads[0]
+	if !w.Sampled || w.FaultCount != 15 {
+		t.Fatalf("sampled=%v faults=%d, want true/15", w.Sampled, w.FaultCount)
+	}
+	if w.UniverseSize <= w.FaultCount {
+		t.Errorf("universe %d not larger than sample %d", w.UniverseSize, w.FaultCount)
+	}
+	if !(w.CoverageCILow < w.CoverageCIHigh) {
+		t.Errorf("degenerate sampled coverage CI [%v, %v]", w.CoverageCILow, w.CoverageCIHigh)
+	}
+	if w.ATPG.Faults != 15 ||
+		w.ATPG.Detected+w.ATPG.Untestable+w.ATPG.Aborted != w.ATPG.Faults {
+		t.Errorf("ATPG tally does not partition the sample: %+v", w.ATPG)
+	}
+	// The sampling summary reaches the human-readable report but never
+	// the CSV (whose golden bytes sampling-free campaigns pin).
+	table := res.Table()
+	if want := "sampled 15 of"; !strings.Contains(table, want) {
+		t.Errorf("table missing %q:\n%s", want, table)
+	}
+	if strings.Contains(res.CSV(), "sampled") {
+		t.Error("sampling info leaked into the CSV")
+	}
+}

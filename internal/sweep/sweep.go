@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/atpg"
 	"repro/internal/campaign"
 	"repro/internal/circuits"
 	"repro/internal/estimate"
@@ -67,6 +68,22 @@ type Config struct {
 	Physical       bool
 	Engine         faultsim.Engine
 	SimWorkers     int
+	// BacktrackLimit bounds PODEM's per-fault search during cleanup
+	// ATPG (0 = the generator's default); results-relevant, so part of
+	// the campaign fingerprint.
+	BacktrackLimit int
+	// SampleFaults, when > 0, prepares each workload against a
+	// deterministic random sample of at most this many collapsed fault
+	// classes — the knob that makes ISCAS-scale circuits sweepable.
+	// Results-relevant, so part of the campaign fingerprint.
+	SampleFaults int
+	// PreparedDir, when non-empty, backs this sweep's artifact cache
+	// with an on-disk Prepared store: a warm store skips ATPG and
+	// fault simulation entirely, and the results are byte-identical to
+	// a cold run. Ignored when Cache is provided (the caller already
+	// chose a caching policy). Not results-relevant: excluded from the
+	// fingerprint and from JSON output.
+	PreparedDir string `json:"-"`
 	// LotEngine selects the ATE's lot-testing engine for every
 	// replicate (chip-parallel by default, tester.Serial as the
 	// opt-out oracle); the aggregates are bit-identical either way.
@@ -100,6 +117,8 @@ func (c Config) table1(y, n0 float64, chips int) experiment.Table1Config {
 		Physical:       c.Physical,
 		Engine:         c.Engine,
 		SimWorkers:     c.SimWorkers,
+		BacktrackLimit: c.BacktrackLimit,
+		SampleFaults:   c.SampleFaults,
 		LotEngine:      c.LotEngine,
 	}
 }
@@ -235,7 +254,15 @@ func New(cfg Config) (*Sweeper, error) {
 	}
 	cache := cfg.Cache
 	if cache == nil {
-		cache = circuits.NewCache()
+		if cfg.PreparedDir != "" {
+			store, err := circuits.NewStore(cfg.PreparedDir)
+			if err != nil {
+				return nil, err
+			}
+			cache = circuits.NewCacheWithStore(store)
+		} else {
+			cache = circuits.NewCache()
+		}
 	}
 	// Any valid grid point serves for the runner's config validation,
 	// and its PrepareParams is the preparation key every workload of
@@ -280,22 +307,18 @@ func New(cfg Config) (*Sweeper, error) {
 }
 
 // resolveCuts maps the requested coverage targets onto one circuit's
-// strobe-granular ramp.
+// strobe-granular ramp. Coverage only moves at the ramp's change
+// points, so the first step reaching a target is always a change point
+// — FirstReaching lands on exactly the strobe a dense scan would.
 func resolveCuts(prep *circuits.Prepared, targets []float64) ([]cut, error) {
 	cuts := make([]cut, len(targets))
 	for i, target := range targets {
-		idx := -1
-		for j, pt := range prep.Curve {
-			if pt.Coverage >= target {
-				idx = j
-				break
-			}
-		}
-		if idx < 0 {
+		pt, ok := prep.Curve.FirstReaching(target)
+		if !ok {
 			return nil, fmt.Errorf("sweep: coverage target %v unreachable on %s (pattern set tops out at %.4f)",
 				target, prep.Circuit.Name, prep.FinalCoverage())
 		}
-		cuts[i] = cut{Target: target, Coverage: prep.Curve[idx].Coverage, Step: idx}
+		cuts[i] = cut{Target: target, Coverage: pt.Coverage, Step: pt.Pattern}
 	}
 	return cuts, nil
 }
@@ -402,9 +425,20 @@ type WorkloadInfo struct {
 	Spec          string // unit spec the registry resolved
 	Name          string // circuit name
 	Stats         netlist.Stats
-	FaultCount    int
+	FaultCount    int // working universe size (the sample when Sampled)
 	PatternCount  int
 	FinalCoverage float64
+	// UniverseSize is the full collapsed fault universe; Sampled
+	// reports whether FaultCount is a random sample of it, in which
+	// case CoverageCILow/High bound the true whole-universe coverage
+	// at 95% confidence.
+	UniverseSize   int
+	Sampled        bool
+	CoverageCILow  float64
+	CoverageCIHigh float64
+	// ATPG tallies the per-fault PODEM outcomes (detected, untestable,
+	// aborted at the backtrack budget).
+	ATPG atpg.Tally
 }
 
 // Result is a finished sweep.

@@ -376,6 +376,37 @@ func FalloutTable(res LotResult, curve []faultsim.CoveragePoint, checkpoints []i
 	return rows, nil
 }
 
+// FalloutTableRamp is FalloutTable against a change-point-compressed
+// coverage ramp (faultsim.SparseRamp): checkpoints are strobe step
+// indices in [0, ramp.Steps), and the coverage column is the ramp
+// value at that step. This is the LSI-scale path — the dense curve for
+// a 7.5k-gate circuit is tens of millions of points, the sparse ramp a
+// few thousand.
+func FalloutTableRamp(res LotResult, ramp faultsim.Ramp, checkpoints []int) ([]FalloutRow, error) {
+	if ramp.Steps == 0 {
+		return nil, fmt.Errorf("tester: empty coverage ramp")
+	}
+	rows := make([]FalloutRow, 0, len(checkpoints))
+	total := len(res.FirstFail)
+	for _, cp := range checkpoints {
+		if cp < 0 || cp >= ramp.Steps {
+			return nil, fmt.Errorf("tester: checkpoint %d outside ramp (%d steps)", cp, ramp.Steps)
+		}
+		failed := 0
+		for _, ff := range res.FirstFail {
+			if ff != NeverFails && ff <= cp {
+				failed++
+			}
+		}
+		rows = append(rows, FalloutRow{
+			Coverage:   ramp.At(cp).Coverage,
+			CumFailed:  failed,
+			CumFracton: float64(failed) / float64(total),
+		})
+	}
+	return rows, nil
+}
+
 // FirstFailCoverages converts first-fail indices to first-fail
 // *coverages* using the ramp; chips that never fail map to NaN. This is
 // the input format the estimate package's bootstrap consumes. The
